@@ -1,0 +1,68 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark regenerates the data series of one table/figure of the paper
+(at laptop scale), prints it, and writes it as CSV under
+``benchmarks/results/`` so the numbers can be compared against the paper's
+shapes (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import MVQueryEngine
+from repro.experiments import (
+    FullDatasetSettings,
+    SweepSettings,
+    full_workload,
+)
+
+#: Directory that receives one CSV per regenerated figure.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def sweep_settings() -> SweepSettings:
+    """Scale of the domain sweeps (Figs. 4-9)."""
+    return SweepSettings(
+        group_count=14,
+        points=4,
+        mcsat_samples=12,
+        mcsat_burn_in=3,
+        mcsat_max_flips=400,
+        alchemy_cutoff=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def full_settings() -> FullDatasetSettings:
+    """Scale of the full-dataset experiments (Figs. 1, 10, 11, §5.4)."""
+    return FullDatasetSettings(group_count=24, query_count=10)
+
+
+@pytest.fixture(scope="session")
+def dblp_workload(full_settings):
+    """The full synthetic DBLP workload (built once per benchmark session)."""
+    return full_workload(full_settings)
+
+
+@pytest.fixture(scope="session")
+def dblp_engine(dblp_workload):
+    """An engine with the MV-index built offline (shared by Figs. 10/11)."""
+    return MVQueryEngine(dblp_workload.mvdb)
+
+
+def emit(result, results_dir: Path) -> None:
+    """Print a result table and persist it as CSV."""
+    print()
+    print(result.to_text())
+    path = result.write_csv(results_dir)
+    print(f"[written] {path}")

@@ -1,0 +1,21 @@
+"""Fig. 11: per-query latency of ten "affiliation of author Y" queries (full dataset)."""
+
+from conftest import emit
+
+from repro.experiments import fig11_affiliation_of_author
+
+
+def test_fig11_affiliation_queries(
+    benchmark, full_settings, dblp_workload, dblp_engine, results_dir
+):
+    result = benchmark.pedantic(
+        lambda: fig11_affiliation_of_author(full_settings, dblp_workload, dblp_engine),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, results_dir)
+    seconds = result.column("seconds")
+    answers = result.column("answers")
+    assert len(seconds) == full_settings.query_count
+    assert max(seconds) < 2.0
+    assert any(count > 0 for count in answers)

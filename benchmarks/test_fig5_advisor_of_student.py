@@ -1,0 +1,23 @@
+"""Fig. 5: Alchemy (MC-SAT) vs augmented OBDD vs MV-index — "advisor of a student"."""
+
+import math
+
+from conftest import emit
+
+from repro.experiments import fig5_advisor_of_student
+
+
+def test_fig5_advisor_of_student(benchmark, sweep_settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig5_advisor_of_student(sweep_settings), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    alchemy = [t for t in result.column("alchemy_total_s") if not math.isnan(t)]
+    obdd = result.column("augmented_obdd_s")
+    mvindex = result.column("mvindex_s")
+    # Paper shape (Fig. 5): the MV-index is the fastest method at every point,
+    # and Alchemy is slower than the MV-index wherever it runs at all.
+    assert all(mv <= ob for mv, ob in zip(mvindex, obdd))
+    assert all(a > m for a, m in zip(alchemy, mvindex))
+    # The MV-index time stays roughly flat while the data grows.
+    assert mvindex[-1] < 20 * max(mvindex[0], 1e-5)

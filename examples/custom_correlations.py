@@ -1,0 +1,107 @@
+"""Modelling custom correlations with MarkoViews: a record-linkage flavoured example.
+
+A small "same-person" resolution scenario:
+
+* ``Match(id1, id2)`` is a probabilistic table of candidate matches between two
+  user registries, with a weight from a (fictitious) string-similarity model;
+* a denial MarkoView asserts that a record can match at most one record of the
+  other registry (weight 0: hard constraint);
+* a positive MarkoView boosts pairs of matches that share the same e-mail
+  domain (weight > 1: positive correlation).
+
+The example shows the three evaluation paths agreeing (MV-index, online OBDD,
+Shannon expansion) and compares against the MC-SAT baseline of the MLN view of
+the same database.
+
+Run with::
+
+    python examples/custom_correlations.py
+"""
+
+from repro.core import MVDB, MVQueryEngine, MarkoView
+from repro.mln import McSatSampler, mln_from_mvdb
+from repro.query import parse_query
+
+
+def build_mvdb() -> MVDB:
+    mvdb = MVDB()
+    # Candidate matches with weights (odds) from a similarity model.
+    mvdb.add_probabilistic_table(
+        "Match",
+        ["id1", "id2"],
+        [
+            (("a1", "b1"), 3.0),
+            (("a1", "b2"), 0.8),
+            (("a2", "b2"), 2.0),
+            (("a2", "b3"), 1.5),
+            (("a3", "b3"), 4.0),
+        ],
+    )
+    # Deterministic attributes of the two registries.
+    mvdb.add_deterministic_table(
+        "Domain",
+        ["id", "domain"],
+        [
+            ("a1", "uw.edu"),
+            ("a2", "uw.edu"),
+            ("a3", "mit.edu"),
+            ("b1", "uw.edu"),
+            ("b2", "uw.edu"),
+            ("b3", "mit.edu"),
+        ],
+    )
+    # Hard constraint: a left record matches at most one right record.
+    mvdb.add_markoview(
+        MarkoView(
+            "OneToOne",
+            parse_query("OneToOne(x, y1, y2) :- Match(x, y1), Match(x, y2), y1 <> y2"),
+            0.0,
+            description="a record matches at most one record of the other registry",
+        )
+    )
+    # Positive correlation: matches whose records share an e-mail domain support
+    # each other (they likely come from the same organisation's migration).
+    mvdb.add_markoview(
+        MarkoView(
+            "SameDomain",
+            parse_query(
+                "SameDomain(x1, y1, x2, y2) :- Match(x1, y1), Match(x2, y2), "
+                "Domain(x1, d), Domain(x2, d), Domain(y1, d), Domain(y2, d), x1 <> x2"
+            ),
+            2.5,
+            description="matches within the same domain reinforce each other",
+        )
+    )
+    return mvdb
+
+
+def main() -> None:
+    mvdb = build_mvdb()
+    engine = MVQueryEngine(mvdb)
+
+    print("match marginals under the correlations (vs. independent odds):")
+    answers = engine.query(parse_query("Q(x, y) :- Match(x, y)"))
+    for (id1, id2), probability in sorted(answers.items()):
+        weight = mvdb.base.weight("Match", (id1, id2))
+        independent = weight / (1 + weight)
+        print(
+            f"  Match({id1}, {id2}): P = {probability:.4f}   "
+            f"(independent would be {independent:.4f})"
+        )
+
+    query = parse_query("Q :- Match(x, 'b2')")
+    print("\nP(someone matches b2), by every exact method:")
+    for method in ("mvindex", "mvindex-mv", "obdd", "shannon"):
+        print(f"  {method:<11} {engine.boolean_probability(query, method=method):.6f}")
+    oracle = mvdb.exact_query_probability(query)
+    print(f"  {'oracle':<11} {oracle:.6f}   (possible-world enumeration)")
+
+    print("\nMC-SAT (Alchemy-style) estimate of the same query:")
+    mln = mln_from_mvdb(mvdb)
+    lineage = mvdb.base.lineage_of(query)
+    estimate = McSatSampler(mln, seed=0).estimate_query(lineage, samples=800, burn_in=80)
+    print(f"  mc-sat      {estimate:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The paper's running example on the synthetic DBLP workload.
+
+Builds the Fig. 1 MVDB (deterministic DBLP tables, probabilistic Student /
+Advisor / Affiliation tables, MarkoViews V1-V3), compiles the MV-index
+offline, and runs the Sect. 1 query "find all students advised by X" plus
+the Sect. 5.4 workload queries, reporting per-query latency.
+
+Run with::
+
+    python examples/dblp_advisors.py [group_count]
+"""
+
+import sys
+import time
+
+from repro.core import MVQueryEngine
+from repro.dblp import (
+    DblpConfig,
+    advisor_of_student,
+    affiliation_of_author,
+    build_mvdb,
+    madden_query,
+)
+
+
+def main(group_count: int = 12) -> None:
+    print(f"generating synthetic DBLP data ({group_count} research groups)...")
+    workload = build_mvdb(DblpConfig(group_count=group_count, seed=1))
+    print("dataset inventory (cf. Fig. 1):")
+    for relation, rows in workload.size_report().items():
+        print(f"  {relation:<18} {rows:>7} rows")
+
+    print("\ncompiling the MV-index offline (translation + W lineage + OBDDs)...")
+    start = time.perf_counter()
+    engine = MVQueryEngine(workload.mvdb)
+    print(
+        f"  done in {time.perf_counter() - start:.2f}s: "
+        f"{engine.mv_index.size} OBDD nodes in {engine.mv_index.component_count()} components, "
+        f"W lineage has {engine.w_lineage_size} clauses"
+    )
+
+    # The running example: all students advised by "Advisor 3" (the LIKE pattern
+    # also matches e.g. "Advisor 30", mirroring the paper's 48 Madden-alikes).
+    query = madden_query("Advisor 3")
+    start = time.perf_counter()
+    answers = engine.query(query)
+    elapsed = (time.perf_counter() - start) * 1000
+    print(f"\nstudents advised by 'Advisor 3'  ({elapsed:.1f} ms, {len(answers)} answers):")
+    for (aid,), probability in sorted(answers.items(), key=lambda item: -item[1])[:8]:
+        print(f"  aid={aid:<5} P = {probability:.4f}")
+
+    # Workload queries of Sect. 5.4.
+    for label, workload_query in [
+        ("advisor of 'Student 2-0'", advisor_of_student("Student 2-0")),
+        ("affiliation of 'Student 2-0'", affiliation_of_author("Student 2-0")),
+    ]:
+        start = time.perf_counter()
+        answers = engine.query(workload_query)
+        elapsed = (time.perf_counter() - start) * 1000
+        print(f"\n{label}  ({elapsed:.1f} ms):")
+        for answer, probability in sorted(answers.items(), key=lambda item: -item[1])[:5]:
+            print(f"  {answer!r:<20} P = {probability:.4f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

@@ -1,0 +1,55 @@
+"""A look inside the translation: negative probabilities (Sect. 3.3).
+
+Positive correlations (MarkoView weights > 1) translate into NV tuples with
+*negative* weights and probabilities on the tuple-independent side.  Every
+intermediate quantity of Eq. 5 may stray outside [0, 1]; the final answer is
+always a correct probability.  This example prints those intermediate values
+so the mechanics of Theorem 1 are visible.
+
+Run with::
+
+    python examples/negative_probabilities.py
+"""
+
+from repro.core import MVDB, MarkoView, theorem1_probability, translate
+from repro.lineage import shannon_probability
+from repro.query import parse_query
+
+
+def main() -> None:
+    mvdb = MVDB()
+    mvdb.add_probabilistic_table("R", ["x"], [(("a",), 1.0)])
+    mvdb.add_probabilistic_table("S", ["x", "y"], [(("a", 1), 1.0), (("a", 2), 1.0)])
+    # A strongly positive correlation: weight 5 (odds multiplier) on R(x) ⋈ S(x,y).
+    mvdb.add_markoview(MarkoView("V", parse_query("V(x) :- R(x), S(x, y)"), 5.0))
+
+    translation = translate(mvdb)
+    indb = translation.indb
+
+    print("translated INDB tuples (weight, probability):")
+    for relation in sorted(indb.probabilistic_relations()):
+        for row in indb.database.rows(relation):
+            weight = indb.weight(relation, row)
+            variable = indb.variable_for(relation, row)
+            probability = indb.probability_of_variable(variable)
+            print(f"  {relation}{row}: weight = {weight:+.3f}, probability = {probability:+.3f}")
+
+    probabilities = indb.probabilities()
+    query = parse_query("Q :- R(x), S(x, y)")
+    q_lineage = indb.lineage_of(query)
+    w_lineage = indb.lineage_of(translation.w_query)
+
+    p_w = shannon_probability(w_lineage, probabilities)
+    p_q_or_w = shannon_probability(q_lineage.or_(w_lineage), probabilities)
+    answer = theorem1_probability(p_q_or_w, p_w)
+    oracle = mvdb.exact_query_probability(query)
+
+    print()
+    print(f"P0(W)        = {p_w:+.6f}   <- may be negative!")
+    print(f"P0(Q or W)   = {p_q_or_w:+.6f}")
+    print(f"Eq. 5        = (P0(Q or W) - P0(W)) / (1 - P0(W)) = {answer:.6f}")
+    print(f"ground truth = {oracle:.6f}  (possible-world enumeration of the MLN)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — a reproduction of "Probabilistic Databases with MarkoViews" (VLDB 2012).
+
+The package provides:
+
+* :mod:`repro.db` — an in-memory relational engine (the deterministic substrate);
+* :mod:`repro.query` — conjunctive queries / UCQs, a datalog-style parser and an
+  evaluator that extracts lineage;
+* :mod:`repro.lineage` — lineage formulas and exact probability computation;
+* :mod:`repro.indb` — tuple-independent probabilistic databases (weights/odds);
+* :mod:`repro.obdd` — an OBDD manager and the ConOBDD construction algorithm;
+* :mod:`repro.mvindex` — the MV-index and the MVIntersect / CC-MVIntersect
+  query-time intersection algorithms;
+* :mod:`repro.core` — MarkoViews, MVDBs, the MVDB→INDB translation (Theorem 1)
+  and the end-to-end query engine;
+* :mod:`repro.safe` — lifted inference (safe plans) for UCQs on INDBs;
+* :mod:`repro.mln` — a Markov Logic Network substrate with exact, Gibbs and
+  MC-SAT inference (the "Alchemy" baseline);
+* :mod:`repro.dblp` — a synthetic DBLP-style workload generator reproducing the
+  schema, probabilistic tables and MarkoViews of Fig. 1;
+* :mod:`repro.experiments` — runners that regenerate every figure of Sect. 5.
+"""
+
+from repro.db import Database, Table
+from repro.indb import TupleIndependentDatabase
+from repro.lineage import DNF
+from repro.query import UCQ, Atom, Comparison, ConjunctiveQuery, Variable, parse_query
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "DNF",
+    "Database",
+    "Table",
+    "TupleIndependentDatabase",
+    "UCQ",
+    "Variable",
+    "parse_query",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,92 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro fig4 --groups 14 --points 4
+    python -m repro fig10 --groups 24 --out results/
+    python -m repro all --groups 12 --points 3 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    FullDatasetSettings,
+    SweepSettings,
+    fig1_dataset_inventory,
+    fig10_students_of_advisor,
+    fig11_affiliation_of_author,
+    fig4_lineage_size,
+    fig5_advisor_of_student,
+    fig6_students_of_advisor,
+    fig7_fig8_obdd_construction,
+    fig9_intersection,
+    report,
+    scalability_index_build,
+)
+
+
+def _sweep(args: argparse.Namespace) -> SweepSettings:
+    return SweepSettings(group_count=args.groups, points=args.points, seed=args.seed)
+
+
+def _full(args: argparse.Namespace) -> FullDatasetSettings:
+    return FullDatasetSettings(group_count=args.groups, seed=args.seed)
+
+
+def _runners() -> dict[str, Callable[[argparse.Namespace], list]]:
+    return {
+        "fig1": lambda args: [fig1_dataset_inventory(_full(args))],
+        "fig4": lambda args: [fig4_lineage_size(_sweep(args))],
+        "fig5": lambda args: [fig5_advisor_of_student(_sweep(args))],
+        "fig6": lambda args: [fig6_students_of_advisor(_sweep(args))],
+        "fig7": lambda args: [fig7_fig8_obdd_construction(_sweep(args))[0]],
+        "fig8": lambda args: [fig7_fig8_obdd_construction(_sweep(args))[1]],
+        "fig9": lambda args: [fig9_intersection(_sweep(args))],
+        "fig10": lambda args: [fig10_students_of_advisor(_full(args))],
+        "fig11": lambda args: [fig11_affiliation_of_author(_full(args))],
+        "scalability": lambda args: [scalability_index_build(_full(args))],
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the experiments of 'Probabilistic Databases with MarkoViews'.",
+    )
+    parser.add_argument("experiment", help="experiment id (fig1..fig11, scalability, all, list)")
+    parser.add_argument("--groups", type=int, default=14, help="synthetic DBLP research groups")
+    parser.add_argument("--points", type=int, default=4, help="sweep points for fig4-fig9")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument("--out", default=None, help="directory for CSV output (optional)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    runners = _runners()
+    if args.experiment == "list":
+        print("available experiments:", ", ".join(sorted(runners)), "+ 'all'")
+        return 0
+    if args.experiment == "all":
+        names = sorted(runners)
+    elif args.experiment in runners:
+        names = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    results = []
+    for name in names:
+        results.extend(runners[name](args))
+    print(report(results, args.out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""The paper's core contribution: MarkoViews, MVDBs, translation, query engine."""
+
+from repro.core.engine import METHODS, MVQueryEngine
+from repro.core.markoview import MarkoView
+from repro.core.mvdb import MVDB
+from repro.core.translate import (
+    Translation,
+    ViewTranslation,
+    answer_tuple_to_boolean,
+    theorem1_probability,
+    translate,
+)
+
+__all__ = [
+    "METHODS",
+    "MVDB",
+    "MVQueryEngine",
+    "MarkoView",
+    "Translation",
+    "ViewTranslation",
+    "answer_tuple_to_boolean",
+    "theorem1_probability",
+    "translate",
+]

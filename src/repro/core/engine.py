@@ -1,0 +1,174 @@
+"""End-to-end query evaluation on MVDBs (Theorem 1 + MV-index).
+
+The :class:`MVQueryEngine` wires together the whole pipeline of the paper:
+
+1. translate the MVDB into a tuple-independent database and the view query
+   ``W`` (offline, :mod:`repro.core.translate`);
+2. compute the lineage of ``W`` and compile it into an MV-index (offline,
+   :mod:`repro.mvindex`);
+3. for a user query ``Q``, compute the lineage of every answer (a round trip
+   to the relational engine) and evaluate
+   ``P(Q) = P0(Q ∧ ¬W) / P0(¬W)`` online via MV-index intersection.
+
+Several evaluation methods are exposed so the experiments of Sect. 5 can
+compare them: ``mvindex`` (CC-MVIntersect), ``mvindex-mv`` (pointer-based
+MVIntersect), ``obdd`` (construct the OBDD of ``Q ∨ W`` from scratch for
+every query — the "augmented OBDD" line of Figs. 5/6), ``shannon`` (exact
+DPLL-style computation on the lineage), and ``enumeration`` (brute force,
+tiny inputs only).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.mvdb import MVDB
+from repro.core.translate import Translation, theorem1_probability, translate
+from repro.errors import InferenceError
+from repro.indb.database import TupleIndependentDatabase
+from repro.lineage.dnf import DNF
+from repro.lineage.enumeration import brute_force_probability
+from repro.lineage.shannon import shannon_probability
+from repro.mvindex.cc_intersect import cc_mv_intersect
+from repro.mvindex.index import MVIndex
+from repro.mvindex.intersect import mv_intersect
+from repro.obdd.construct import build_obdd
+from repro.obdd.order import VariableOrder, order_from_permutations
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluator import evaluate_ucq
+from repro.query.ucq import UCQ, as_ucq
+
+#: Evaluation methods accepted by :meth:`MVQueryEngine.query`.
+METHODS = ("mvindex", "mvindex-mv", "obdd", "shannon", "enumeration")
+
+
+class MVQueryEngine:
+    """Query evaluation over an MVDB via the INDB translation of Theorem 1."""
+
+    def __init__(
+        self,
+        mvdb: MVDB,
+        build_index: bool = True,
+        permutations: Mapping[str, Sequence[str]] | None = None,
+        construction: str = "concat",
+    ) -> None:
+        self.mvdb = mvdb
+        self.translation: Translation = translate(mvdb)
+        self.indb: TupleIndependentDatabase = self.translation.indb
+        self.probabilities: dict[int, float] = self.indb.probabilities()
+        self.order: VariableOrder = order_from_permutations(self.indb, permutations)
+
+        if self.translation.has_views:
+            self.w_lineage: DNF = self.indb.lineage_of(self.translation.w_query)
+        else:
+            self.w_lineage = DNF.false()
+
+        self.mv_index: MVIndex | None = None
+        if build_index and not self.w_lineage.is_false:
+            self.mv_index = MVIndex(
+                self.w_lineage, self.probabilities, self.order, construction=construction
+            )
+
+        self._p0_w: float | None = None
+
+    # ----------------------------------------------------------- W statistics
+    @property
+    def w_lineage_size(self) -> int:
+        """Number of clauses in the lineage of ``W`` (the Fig. 4 quantity)."""
+        return 0 if self.w_lineage.is_false else len(self.w_lineage)
+
+    def p0_w(self) -> float:
+        """``P0(W)`` on the translated INDB (cached)."""
+        if self._p0_w is None:
+            if self.w_lineage.is_false:
+                self._p0_w = 0.0
+            elif self.mv_index is not None:
+                self._p0_w = self.mv_index.probability_w()
+            else:
+                self._p0_w = shannon_probability(self.w_lineage, self.probabilities)
+        return self._p0_w
+
+    def p0_not_w(self) -> float:
+        """``P0(¬W)``."""
+        return 1.0 - self.p0_w()
+
+    # ---------------------------------------------------------------- queries
+    def query(
+        self,
+        query: UCQ | ConjunctiveQuery,
+        method: str = "mvindex",
+    ) -> dict[tuple[Any, ...], float]:
+        """Probability of every answer of ``query`` on the MVDB.
+
+        For a Boolean query the result maps the empty tuple to ``P(Q)``
+        (absent if the query has no derivation, i.e. probability 0).
+        """
+        if method not in METHODS:
+            raise InferenceError(f"unknown evaluation method {method!r}; choose from {METHODS}")
+        ucq = as_ucq(query)
+        unknown_nv = {
+            relation
+            for relation in ucq.relations()
+            if relation.startswith("NV_")
+        }
+        if unknown_nv:
+            raise InferenceError(
+                f"queries must be over the MVDB schema, not the translated NV relations {unknown_nv}"
+            )
+        result = evaluate_ucq(ucq, self.indb.database, self.indb)
+        answers: dict[tuple[Any, ...], float] = {}
+        for answer, lineage in result.lineages().items():
+            answers[answer] = self._lineage_probability(lineage, method)
+        return answers
+
+    def boolean_probability(self, query: UCQ | ConjunctiveQuery, method: str = "mvindex") -> float:
+        """``P(Q)`` for a Boolean query (0.0 if it has no derivations)."""
+        return self.query(query, method=method).get((), 0.0)
+
+    # ---------------------------------------------------------------- internals
+    def _lineage_probability(self, lineage: DNF, method: str) -> float:
+        if lineage.is_false:
+            return 0.0
+        if self.w_lineage.is_false:
+            # No MarkoViews: this is an ordinary tuple-independent database.
+            return self._independent_probability(lineage, method)
+        if method in ("mvindex", "mvindex-mv"):
+            return self._mvindex_probability(lineage, method)
+        p0_w = self.p0_w()
+        combined = lineage.or_(self.w_lineage)
+        if method == "obdd":
+            order = self.order.extend(sorted(lineage.variables()))
+            compiled = build_obdd(combined, order, method="concat")
+            p0_q_or_w = compiled.probability(self.probabilities)
+        elif method == "shannon":
+            p0_q_or_w = shannon_probability(combined, self.probabilities)
+        else:
+            p0_q_or_w = brute_force_probability(combined, self.probabilities)
+        return theorem1_probability(p0_q_or_w, p0_w)
+
+    def _independent_probability(self, lineage: DNF, method: str) -> float:
+        if method == "enumeration":
+            return brute_force_probability(lineage, self.probabilities)
+        if method == "obdd":
+            order = self.order.extend(sorted(lineage.variables()))
+            return build_obdd(lineage, order).probability(self.probabilities)
+        return shannon_probability(lineage, self.probabilities)
+
+    def _mvindex_probability(self, lineage: DNF, method: str) -> float:
+        if self.mv_index is None:
+            raise InferenceError(
+                "the MV-index was not built (build_index=False); use method='obdd' or 'shannon'"
+            )
+        intersect = cc_mv_intersect if method == "mvindex" else mv_intersect
+        numerator = intersect(self.mv_index, lineage, self.probabilities)
+        denominator = self.mv_index.probability_not_w()
+        if denominator == 0.0:
+            raise InferenceError(
+                "P0(¬W) = 0: the MarkoView hard constraints are violated in every world"
+            )
+        value = numerator / denominator
+        return min(1.0, max(0.0, value)) if -1e-9 < value < 1.0 + 1e-9 else value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        index = "no index" if self.mv_index is None else repr(self.mv_index)
+        return f"MVQueryEngine({self.mvdb!r}, W lineage {self.w_lineage_size} clauses, {index})"

@@ -1,0 +1,179 @@
+"""The MVDB data model: probabilistic tables plus MarkoViews.
+
+An MVDB (Def. 3) is a triple ``(Tup, w, V)``: a set of possible tuples over
+a relational schema, a weight for each possible tuple, and a set of
+MarkoViews.  Its semantics (Def. 4) is the Markov Logic Network with one
+feature per base tuple (the tuple itself, with its weight) and one feature
+per view output tuple (the Boolean query ``Q(t)``, with the view weight).
+
+The class below stores the base part as a
+:class:`~repro.indb.TupleIndependentDatabase` (it *is* one when there are no
+views) and adds view management, view materialisation over ``I_poss``, and
+the exact possible-world semantics used as the test oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence
+
+from repro.db.database import Database
+from repro.errors import InferenceError, SchemaError
+from repro.indb.database import TupleIndependentDatabase
+from repro.indb.weights import CERTAIN_WEIGHT
+from repro.lineage.dnf import DNF
+from repro.lineage.enumeration import MAX_ENUMERATION_VARIABLES
+from repro.core.markoview import MarkoView
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluator import evaluate_ucq
+from repro.query.ucq import UCQ, as_ucq
+
+
+class MVDB:
+    """A MarkoView database: base probabilistic tables + MarkoViews."""
+
+    def __init__(self) -> None:
+        self.base = TupleIndependentDatabase()
+        self.views: list[MarkoView] = []
+
+    # ------------------------------------------------------------- base data
+    @property
+    def database(self) -> Database:
+        """The deterministic instance ``I_poss`` holding all possible tuples."""
+        return self.base.database
+
+    def add_deterministic_table(
+        self, name: str, attributes: Sequence[str], rows: Iterable[Sequence[Any]] = ()
+    ):
+        """Create a deterministic relation."""
+        return self.base.add_deterministic_table(name, attributes, rows)
+
+    def add_probabilistic_table(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        weighted_rows: Iterable[tuple[Sequence[Any], float]] = (),
+    ):
+        """Create a probabilistic relation from ``(row, weight)`` pairs (weights are odds)."""
+        return self.base.add_probabilistic_table(name, attributes, weighted_rows)
+
+    def add_probabilistic_tuple(self, relation: str, row: Sequence[Any], weight: float) -> int:
+        """Add one possible tuple with a non-negative weight; returns its variable id."""
+        if weight < 0:
+            raise SchemaError(
+                f"base tuple weights must be non-negative, got {weight} for {relation}{tuple(row)}"
+            )
+        return self.base.add_probabilistic_tuple(relation, row, weight)
+
+    # ----------------------------------------------------------------- views
+    def add_markoview(self, view: MarkoView) -> MarkoView:
+        """Register a MarkoView; its body relations must already exist."""
+        missing = [name for name in view.query.relations() if name not in self.database]
+        if missing:
+            raise SchemaError(f"MarkoView {view.name!r} references unknown relations {missing}")
+        if any(existing.name == view.name for existing in self.views):
+            raise SchemaError(f"a MarkoView named {view.name!r} already exists")
+        self.views.append(view)
+        return view
+
+    def view_tuples(self, view: MarkoView) -> list[tuple[tuple[Any, ...], float, DNF]]:
+        """Materialise a view over ``I_poss``.
+
+        Returns a list of ``(output row, weight, ground feature lineage)``:
+        the lineage is the Boolean formula of the MLN feature ``Q(t)`` over
+        the base probabilistic tuples.
+        """
+        result = evaluate_ucq(view.query, self.database, self.base)
+        output: list[tuple[tuple[Any, ...], float, DNF]] = []
+        for row, lineage in sorted(result.lineages().items(), key=lambda item: repr(item[0])):
+            output.append((row, view.weight_of(row), lineage))
+        return output
+
+    # ------------------------------------------------------------- statistics
+    def size_report(self) -> dict[str, int]:
+        """Row counts of base relations plus output sizes of every MarkoView."""
+        report = dict(self.database.size_report())
+        for view in self.views:
+            report[view.name] = len(self.view_tuples(view))
+        return report
+
+    def possible_tuple_count(self) -> int:
+        """Number of possible probabilistic base tuples."""
+        return self.base.tuple_count()
+
+    # -------------------------------------------------------- exact semantics
+    def _ground_features(self) -> list[tuple[DNF, float]]:
+        """All grounded MLN features contributed by the views (lineage, weight)."""
+        features: list[tuple[DNF, float]] = []
+        for view in self.views:
+            for __, weight, lineage in self.view_tuples(view):
+                features.append((lineage, weight))
+        return features
+
+    def exact_answer_probabilities(
+        self, query: UCQ | ConjunctiveQuery
+    ) -> dict[tuple[Any, ...], float]:
+        """Ground-truth answer probabilities by possible-world enumeration.
+
+        This is the MLN semantics of Def. 4 computed literally:
+        ``P(Q) = Φ(Q) / Z`` with ``Φ(I) = Π_{t∈I} w(t) · Π_{J ⊨ F_t} w_V(t)``.
+        Exponential in the number of uncertain base tuples — use only on
+        small instances (tests, examples).
+        """
+        ucq = as_ucq(query)
+        uncertain = [
+            variable
+            for variable in self.base.variables()
+            if not self.base.is_certain(variable)
+        ]
+        if len(uncertain) > MAX_ENUMERATION_VARIABLES:
+            raise InferenceError(
+                f"exact MVDB semantics requested over {len(uncertain)} uncertain tuples; "
+                f"the enumeration oracle is limited to {MAX_ENUMERATION_VARIABLES}"
+            )
+        features = self._ground_features()
+        answer_result = evaluate_ucq(ucq, self.database, self.base)
+        answer_lineages = answer_result.lineages()
+
+        weights = {variable: self.base.weight_of_variable(variable) for variable in uncertain}
+        partition = 0.0
+        unnormalised: dict[tuple[Any, ...], float] = {answer: 0.0 for answer in answer_lineages}
+        for assignment in _assignments(uncertain):
+            world_weight = 1.0
+            for variable, present in assignment.items():
+                if present:
+                    world_weight *= weights[variable]
+            for lineage, feature_weight in features:
+                if lineage.evaluate(assignment):
+                    world_weight *= feature_weight
+            partition += world_weight
+            if world_weight == 0.0:
+                continue
+            for answer, lineage in answer_lineages.items():
+                if lineage.evaluate(assignment):
+                    unnormalised[answer] += world_weight
+        if partition <= 0.0 or math.isclose(partition, 0.0):
+            raise InferenceError(
+                "the MVDB partition function is zero: the hard constraints are unsatisfiable"
+            )
+        return {answer: value / partition for answer, value in unnormalised.items()}
+
+    def exact_query_probability(self, query: UCQ | ConjunctiveQuery) -> float:
+        """Ground-truth probability of a Boolean query (see :meth:`exact_answer_probabilities`)."""
+        ucq = as_ucq(query)
+        answers = self.exact_answer_probabilities(ucq)
+        return answers.get((), 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MVDB({len(self.base.probabilistic_relations())} probabilistic relations, "
+            f"{self.possible_tuple_count()} possible tuples, {len(self.views)} MarkoViews)"
+        )
+
+
+def _assignments(variables: list[int]):
+    """All assignments of the given variables (iterative, deterministic order)."""
+    from itertools import product
+
+    for values in product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, values))

@@ -1,0 +1,152 @@
+"""The MVDB → INDB translation (Def. 5 and Theorem 1).
+
+Given an MVDB ``(Tup, w, V)`` the translation builds a tuple-independent
+database over the schema ``R ∪ NV``:
+
+* every base relation keeps its possible tuples and weights;
+* every MarkoView ``Vi`` contributes a fresh relation ``NVi`` whose possible
+  tuples are the view's output tuples and whose weights are
+  ``(1 - w) / w`` — *negative* when ``w > 1``;
+* the Boolean query ``Wi = ∃x̄. NVi(x̄) ∧ Qi(x̄)`` is formed for every view and
+  ``W = ∨ Wi``.
+
+Theorem 1 then states, for every Boolean query ``Q`` over the base schema::
+
+    P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W)) = P0(Q ∧ ¬W) / P0(¬W)
+
+Two simplifications from the paper are applied:
+
+* **denial views** (weight 0) make ``NVi`` deterministic, so its tuples
+  contribute no Boolean variable and the ``NVi`` atom effectively drops out
+  of ``Wi`` (end of Sect. 3.2);
+* view output tuples with weight exactly 1 assert independence and are
+  omitted entirely (their translated weight would be 0, i.e. probability 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.markoview import MarkoView
+from repro.core.mvdb import MVDB
+from repro.errors import SchemaError
+from repro.indb.database import TupleIndependentDatabase
+from repro.indb.weights import markoview_weight_to_indb_weight
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.query.ucq import UCQ
+
+
+@dataclass
+class ViewTranslation:
+    """Bookkeeping for one translated MarkoView."""
+
+    view: MarkoView
+    nv_relation: str
+    tuple_count: int
+    denial_tuples: int
+    independent_tuples: int
+    w_disjuncts: tuple[ConjunctiveQuery, ...]
+
+
+@dataclass
+class Translation:
+    """The result of translating an MVDB into a tuple-independent database."""
+
+    indb: TupleIndependentDatabase
+    w_query: UCQ | None
+    views: list[ViewTranslation] = field(default_factory=list)
+
+    @property
+    def has_views(self) -> bool:
+        """True if at least one MarkoView produced a ``W`` disjunct."""
+        return self.w_query is not None
+
+
+def _w_disjuncts_for_view(view: MarkoView) -> list[ConjunctiveQuery]:
+    """Build the Boolean disjuncts of ``Wi = ∃x̄. NVi(x̄) ∧ Qi(x̄)``."""
+    disjuncts = []
+    for cq in view.query.disjuncts:
+        atoms = list(cq.atoms) + [Atom(view.nv_relation, list(cq.head))]
+        disjuncts.append(
+            ConjunctiveQuery([], atoms, cq.comparisons, name=f"W_{view.name}")
+        )
+    return disjuncts
+
+
+def translate(mvdb: MVDB) -> Translation:
+    """Translate an MVDB into its associated tuple-independent database."""
+    indb = TupleIndependentDatabase()
+
+    # Base relations: identical possible tuples and weights.
+    for table in mvdb.database:
+        name = table.name
+        attributes = table.schema.attribute_names
+        if mvdb.base.is_probabilistic(name):
+            indb.add_probabilistic_table(name, attributes)
+            for row in table.rows():
+                indb.add_probabilistic_tuple(name, row, mvdb.base.weight(name, row))
+        else:
+            indb.add_deterministic_table(name, attributes, table.rows())
+
+    # One NV relation per MarkoView.
+    view_translations: list[ViewTranslation] = []
+    w_disjuncts: list[ConjunctiveQuery] = []
+    for view in mvdb.views:
+        nv_name = view.nv_relation
+        if nv_name in indb.database:
+            raise SchemaError(
+                f"cannot create relation {nv_name!r} for MarkoView {view.name!r}: name in use"
+            )
+        attributes = [variable.name for variable in view.query.head]
+        indb.add_probabilistic_table(nv_name, attributes)
+        denial_tuples = 0
+        independent_tuples = 0
+        materialised = mvdb.view_tuples(view)
+        for row, weight, __ in materialised:
+            if weight == 1.0:
+                # Weight 1 asserts independence: no correlation to encode.
+                independent_tuples += 1
+                continue
+            translated = markoview_weight_to_indb_weight(weight)
+            if weight == 0.0:
+                denial_tuples += 1
+            indb.add_probabilistic_tuple(nv_name, row, translated)
+        disjuncts = _w_disjuncts_for_view(view)
+        w_disjuncts.extend(disjuncts)
+        view_translations.append(
+            ViewTranslation(
+                view=view,
+                nv_relation=nv_name,
+                tuple_count=len(materialised) - independent_tuples,
+                denial_tuples=denial_tuples,
+                independent_tuples=independent_tuples,
+                w_disjuncts=tuple(disjuncts),
+            )
+        )
+
+    w_query = UCQ(w_disjuncts, name="W") if w_disjuncts else None
+    return Translation(indb=indb, w_query=w_query, views=view_translations)
+
+
+def theorem1_probability(p0_q_or_w: float, p0_w: float) -> float:
+    """Evaluate Eq. 5 of Theorem 1 and clamp tiny numerical noise.
+
+    ``P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W))``.  The inputs may carry
+    floating-point error of either sign (negative probabilities make
+    catastrophic cancellation possible in principle), so results that stray a
+    hair outside ``[0, 1]`` are clamped.
+    """
+    denominator = 1.0 - p0_w
+    if denominator == 0.0:
+        raise SchemaError(
+            "1 - P0(W) = 0: the MarkoView hard constraints are violated in every world"
+        )
+    value = (p0_q_or_w - p0_w) / denominator
+    return min(1.0, max(0.0, value)) if -1e-9 < value < 1.0 + 1e-9 else value
+
+
+def answer_tuple_to_boolean(query: UCQ, answer: tuple[Any, ...]) -> UCQ:
+    """Bind a query's head to an answer tuple, producing the Boolean query ``Q(ā)``."""
+    return query.bind_head(list(answer))

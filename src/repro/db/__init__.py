@@ -1,0 +1,18 @@
+"""In-memory relational substrate (schemas, tables, databases, CSV I/O)."""
+
+from repro.db.database import Database
+from repro.db.schema import Attribute, RelationSchema
+from repro.db.table import Row, Table
+from repro.db.csvio import load_database, load_table, save_database, save_table
+
+__all__ = [
+    "Attribute",
+    "Database",
+    "RelationSchema",
+    "Row",
+    "Table",
+    "load_database",
+    "load_table",
+    "save_database",
+    "save_table",
+]

@@ -1,0 +1,67 @@
+"""CSV import/export for tables and databases.
+
+The synthetic DBLP workload can be persisted to disk so that the benchmark
+harness does not have to regenerate data on every run, and so that users can
+inspect or substitute their own data (e.g. a real DBLP extract).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.db.database import Database
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+
+
+def _convert(value: str) -> Any:
+    """Best-effort conversion of a CSV cell back into int/float/str."""
+    for converter in (int, float):
+        try:
+            return converter(value)
+        except ValueError:
+            continue
+    return value
+
+
+def save_table(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.attribute_names)
+        for row in table:
+            writer.writerow(row)
+
+
+def load_table(name: str, path: str | Path) -> Table:
+    """Load a table called ``name`` from a CSV file written by :func:`save_table`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        schema = RelationSchema(name, header)
+        table = Table(schema)
+        for row in reader:
+            table.insert(tuple(_convert(cell) for cell in row))
+    return table
+
+
+def save_database(database: Database, directory: str | Path) -> None:
+    """Write every table of ``database`` into ``directory`` as ``<name>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for table in database:
+        save_table(table, directory / f"{table.name}.csv")
+
+
+def load_database(directory: str | Path) -> Database:
+    """Load every ``*.csv`` file in ``directory`` into a new database."""
+    directory = Path(directory)
+    database = Database()
+    for path in sorted(directory.glob("*.csv")):
+        database.add_table(load_table(path.stem, path))
+    return database

@@ -1,0 +1,105 @@
+"""A database instance: a named collection of tables.
+
+This is the deterministic substrate on which everything else is layered:
+MarkoView grounding, lineage extraction, the MVDB-to-INDB translation, and
+the synthetic DBLP workload all operate on a :class:`Database`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.db.schema import RelationSchema
+from repro.db.table import Row, Table
+from repro.errors import SchemaError, UnknownRelationError
+
+
+class Database:
+    """A mutable collection of :class:`~repro.db.table.Table` objects."""
+
+    def __init__(self, tables: Iterable[Table] = ()) -> None:
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.add_table(table)
+
+    # ---------------------------------------------------------------- tables
+    def add_table(self, table: Table) -> Table:
+        """Register an existing table; its name must be unused."""
+        if table.name in self._tables:
+            raise SchemaError(f"relation {table.name!r} already exists in the database")
+        self._tables[table.name] = table
+        return table
+
+    def create_table(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[Any]] = (),
+        key: Sequence[str] | None = None,
+    ) -> Table:
+        """Create, register and return a new table."""
+        schema = RelationSchema(name, attributes, key=key)
+        return self.add_table(Table(schema, rows))
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table; raises if it does not exist."""
+        if name not in self._tables:
+            raise UnknownRelationError(f"cannot drop unknown relation {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Return the table named ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise UnknownRelationError(f"unknown relation {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __getitem__(self, name: str) -> Table:
+        return self.table(name)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def relation_names(self) -> list[str]:
+        """Names of all relations, in registration order."""
+        return list(self._tables)
+
+    # --------------------------------------------------------------- helpers
+    def active_domain(self, relations: Iterable[str] | None = None) -> set[Any]:
+        """Union of the active domains of the given relations (default: all)."""
+        names = self.relation_names() if relations is None else list(relations)
+        domain: set[Any] = set()
+        for name in names:
+            domain.update(self.table(name).active_domain())
+        return domain
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(len(table) for table in self)
+
+    def size_report(self) -> dict[str, int]:
+        """Mapping ``relation name -> row count`` (the Fig. 1 inventory table)."""
+        return {table.name: len(table) for table in self}
+
+    def copy(self) -> "Database":
+        """A copy with independently mutable tables."""
+        return Database(table.copy() for table in self)
+
+    def contains_row(self, relation: str, row: Sequence[Any]) -> bool:
+        """True if ``row`` is present in ``relation``."""
+        return tuple(row) in self.table(relation)
+
+    def insert(self, relation: str, row: Sequence[Any]) -> bool:
+        """Insert a row into an existing relation."""
+        return self.table(relation).insert(row)
+
+    def rows(self, relation: str) -> list[Row]:
+        """All rows of a relation."""
+        return self.table(relation).rows()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{t.name}:{len(t)}" for t in self)
+        return f"Database({parts})"

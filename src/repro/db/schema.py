@@ -1,0 +1,137 @@
+"""Relation schemas for the in-memory relational substrate.
+
+The paper's MVDBs are defined over an ordinary relational schema
+(Sect. 2): every relation has a name, a list of attributes and a key
+(defaulting to the full attribute list).  This module provides a light,
+explicit schema representation used by :class:`repro.db.table.Table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SchemaError
+
+#: Attribute types accepted by :class:`Attribute`.  ``object`` means "any
+#: hashable Python value" and is the default.
+ATTRIBUTE_TYPES = (int, float, str, bool, object)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named attribute of a relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within its relation.
+    type:
+        Expected Python type of values.  Only used for validation when a
+        table is created with ``validate=True``.
+    """
+
+    name: str
+    type: type = object
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+        if self.type not in ATTRIBUTE_TYPES:
+            raise SchemaError(f"unsupported attribute type {self.type!r} for {self.name!r}")
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` if ``value`` does not match the type."""
+        if self.type is object:
+            return
+        if self.type is float and isinstance(value, int) and not isinstance(value, bool):
+            return
+        if not isinstance(value, self.type) or isinstance(value, bool) and self.type is not bool:
+            raise SchemaError(
+                f"value {value!r} is not of type {self.type.__name__} for attribute {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: name, attributes, and key.
+
+    Examples
+    --------
+    >>> RelationSchema("Author", ["aid", "name"]).arity
+    2
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    key: tuple[str, ...] = field(default=())
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[Attribute | str],
+        key: Sequence[str] | None = None,
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"relation name must be a non-empty string, got {name!r}")
+        attrs = tuple(a if isinstance(a, Attribute) else Attribute(a) for a in attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in relation {name!r}: {names}")
+        if key is None:
+            key_tuple = tuple(names)
+        else:
+            key_tuple = tuple(key)
+            unknown = set(key_tuple) - set(names)
+            if unknown:
+                raise SchemaError(f"key attributes {sorted(unknown)} not in relation {name!r}")
+            if not key_tuple:
+                raise SchemaError(f"key of relation {name!r} must not be empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "key", key_tuple)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Names of the attributes, in order."""
+        return tuple(a.name for a in self.attributes)
+
+    def position_of(self, attribute: str) -> int:
+        """Return the 0-based position of ``attribute``.
+
+        Raises
+        ------
+        SchemaError
+            If the attribute does not exist.
+        """
+        try:
+            return self.attribute_names.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(f"relation {self.name!r} has no attribute {attribute!r}") from exc
+
+    def key_positions(self) -> tuple[int, ...]:
+        """Positions of the key attributes."""
+        return tuple(self.position_of(a) for a in self.key)
+
+    def validate_row(self, row: Iterable[Any]) -> tuple[Any, ...]:
+        """Validate a row against this schema and return it as a tuple."""
+        row_tuple = tuple(row)
+        if len(row_tuple) != self.arity:
+            raise SchemaError(
+                f"row {row_tuple!r} has arity {len(row_tuple)}, "
+                f"expected {self.arity} for relation {self.name!r}"
+            )
+        for attribute, value in zip(self.attributes, row_tuple):
+            attribute.validate(value)
+        return row_tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        attrs = ", ".join(a.name for a in self.attributes)
+        return f"RelationSchema({self.name}({attrs}), key={list(self.key)})"

@@ -1,0 +1,35 @@
+"""Synthetic DBLP workload: generator, probabilistic tables, MarkoViews, queries."""
+
+from repro.dblp.config import DblpConfig
+from repro.dblp.generator import DblpData, generate_dblp, restrict_to_aid
+from repro.dblp.probabilistic import ProbabilisticTables, build_probabilistic_tables
+from repro.dblp.views import recent_copub_rows, v1_view, v2_view, v3_view
+from repro.dblp.workload import (
+    DblpWorkload,
+    advisor_of_student,
+    affiliation_of_author,
+    build_mvdb,
+    build_sweep_mvdb,
+    madden_query,
+    students_of_advisor,
+)
+
+__all__ = [
+    "DblpConfig",
+    "DblpData",
+    "DblpWorkload",
+    "ProbabilisticTables",
+    "advisor_of_student",
+    "affiliation_of_author",
+    "build_mvdb",
+    "build_probabilistic_tables",
+    "build_sweep_mvdb",
+    "generate_dblp",
+    "madden_query",
+    "recent_copub_rows",
+    "restrict_to_aid",
+    "students_of_advisor",
+    "v1_view",
+    "v2_view",
+    "v3_view",
+]

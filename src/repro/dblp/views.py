@@ -1,0 +1,84 @@
+"""The MarkoViews of Fig. 1: V1 (advisor/co-publication), V2 (single advisor), V3 (affiliation).
+
+* ``V1(aid1, aid2)[count(pid)/2]`` — the more papers ``aid1`` and ``aid2``
+  co-authored while ``aid1`` was a student, the more likely ``aid2`` is the
+  advisor: a positive correlation between the ``Advisor`` tuple and the
+  ``Student`` tuples contributing to it.
+* ``V2(aid1, aid2, aid3)[0]`` — a person has at most one advisor: a hard
+  denial constraint between pairs of ``Advisor`` tuples.
+* ``V3(aid1, aid2, inst)[count(pid)/5]`` — people who recently published a
+  lot together very likely share an affiliation: a positive correlation
+  between ``Affiliation`` tuples.
+
+As in footnote 3 of the paper, the aggregate sub-query of V3 (the recent
+co-publication count) is first materialised as a deterministic table
+(``RecentCoPub``) so that the view itself stays a conjunctive query.  The
+parameterised weights ``count(pid)/2`` and ``count(pid)/5`` are supplied as
+weight callables closing over the pre-computed counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.markoview import MarkoView
+from repro.dblp.config import DblpConfig
+from repro.dblp.probabilistic import ProbabilisticTables
+from repro.query.parser import parse_query
+
+
+def v1_view(tables: ProbabilisticTables) -> MarkoView:
+    """V1: positive correlation between an Advisor tuple and the Student tuples."""
+    counts = tables.student_copub_count
+
+    def weight(row: tuple) -> float:
+        aid1, aid2 = row
+        return counts.get((aid1, aid2), 0) / 2.0
+
+    query = parse_query(
+        "V1(aid1, aid2) :- Advisor(aid1, aid2), Student(aid1, year), "
+        "Wrote(aid1, pid), Wrote(aid2, pid), Pub(pid, title, year)"
+    )
+    return MarkoView(
+        "V1",
+        query,
+        weight,
+        description="the more they published together while aid1 was a student, "
+        "the more likely aid2 was the advisor",
+    )
+
+
+def v2_view() -> MarkoView:
+    """V2: a person has only one advisor (hard denial constraint)."""
+    query = parse_query(
+        "V2(aid1, aid2, aid3) :- Advisor(aid1, aid2), Advisor(aid1, aid3), aid2 <> aid3"
+    )
+    return MarkoView("V2", query, 0.0, description="a person has only one advisor")
+
+
+def v3_view(tables: ProbabilisticTables, config: DblpConfig) -> MarkoView:
+    """V3: people who recently published a lot together share an affiliation."""
+    counts = tables.recent_copub_count
+
+    def weight(row: tuple) -> float:
+        aid1, aid2, __ = row
+        return counts.get((aid1, aid2), 0) / 5.0
+
+    query = parse_query(
+        "V3(aid1, aid2, inst) :- Affiliation(aid1, inst), Affiliation(aid2, inst), "
+        "RecentCoPub(aid1, aid2)"
+    )
+    return MarkoView(
+        "V3",
+        query,
+        weight,
+        description="if two people have published a lot together recently, their "
+        "affiliations are very likely the same",
+    )
+
+
+def recent_copub_rows(tables: ProbabilisticTables, config: DblpConfig) -> list[tuple[int, int]]:
+    """Rows of the deterministic ``RecentCoPub`` helper table used by V3."""
+    return sorted(
+        pair
+        for pair, count in tables.recent_copub_count.items()
+        if count > config.v3_copub_threshold
+    )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the MarkoViews reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while more
+specific classes document *where* in the pipeline the failure happened
+(schema handling, query parsing/evaluation, knowledge compilation, or
+probabilistic inference).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or a row does not match its schema."""
+
+
+class UnknownRelationError(SchemaError):
+    """A query or operation referenced a relation that does not exist."""
+
+
+class QueryError(ReproError):
+    """A query expression is syntactically or semantically invalid."""
+
+
+class ParseError(QueryError):
+    """A datalog-style query string could not be parsed."""
+
+
+class EvaluationError(ReproError):
+    """Query evaluation failed (e.g. unbound variable in a comparison)."""
+
+
+class WeightError(ReproError):
+    """An invalid weight or probability was supplied (e.g. negative view weight)."""
+
+
+class CompilationError(ReproError):
+    """OBDD / MV-index compilation failed."""
+
+
+class InferenceError(ReproError):
+    """Probabilistic inference failed."""
+
+
+class UnsafeQueryError(InferenceError):
+    """The lifted-inference engine could not find a safe plan for the query.
+
+    This mirrors the dichotomy of Dalvi & Suciu: queries without a safe plan
+    are #P-hard and must be evaluated through lineage/knowledge compilation
+    instead.
+    """

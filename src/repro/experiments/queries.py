@@ -1,0 +1,141 @@
+"""Full-dataset experiments: Fig. 1 inventory, Figs. 10–11, and §5.4 scalability.
+
+These run on the "full" synthetic DBLP dataset (all three MarkoViews), build
+the MV-index offline once, and then measure per-query latency for the two
+query workloads of Sect. 5.4: *students of an advisor X* (Fig. 10) and
+*affiliation of an author Y* (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import MVQueryEngine
+from repro.dblp.config import DblpConfig
+from repro.dblp.workload import (
+    DblpWorkload,
+    affiliation_of_author,
+    build_mvdb,
+    students_of_advisor,
+)
+from repro.experiments.harness import ExperimentResult, time_call
+
+
+@dataclass(frozen=True)
+class FullDatasetSettings:
+    """Scale of the full-dataset experiments."""
+
+    group_count: int = 24
+    seed: int = 0
+    query_count: int = 10
+
+
+def full_workload(settings: FullDatasetSettings | None = None) -> DblpWorkload:
+    """The full synthetic DBLP workload (all MarkoViews)."""
+    settings = settings or FullDatasetSettings()
+    config = DblpConfig(group_count=settings.group_count, seed=settings.seed)
+    return build_mvdb(config)
+
+
+# --------------------------------------------------------------------- Fig. 1
+def fig1_dataset_inventory(settings: FullDatasetSettings | None = None) -> ExperimentResult:
+    """Fig. 1 (tables): row counts of every base, derived and probabilistic relation."""
+    workload = full_workload(settings)
+    result = ExperimentResult(
+        name="fig1_dataset_inventory",
+        description="Synthetic DBLP inventory (cf. the table sizes of Fig. 1)",
+        columns=["relation", "rows"],
+    )
+    for relation, count in workload.size_report().items():
+        result.add_row(relation=relation, rows=count)
+    return result
+
+
+# ------------------------------------------------------------- Figs. 10 & 11
+def _query_latencies(
+    engine: MVQueryEngine,
+    queries: list,
+    name: str,
+    description: str,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name=name,
+        description=description,
+        columns=["query", "seconds", "answers"],
+    )
+    for position, query in enumerate(queries, start=1):
+        seconds, answers = time_call(lambda q=query: engine.query(q, method="mvindex"))
+        result.add_row(query=f"q{position}", seconds=seconds, answers=len(answers))
+    return result
+
+
+def fig10_students_of_advisor(
+    settings: FullDatasetSettings | None = None,
+    workload: DblpWorkload | None = None,
+    engine: MVQueryEngine | None = None,
+) -> ExperimentResult:
+    """Fig. 10: latency of ten "students of advisor X" queries on the full dataset."""
+    settings = settings or FullDatasetSettings()
+    workload = workload or full_workload(settings)
+    engine = engine or MVQueryEngine(workload.mvdb)
+    advisors = [f"Advisor {group}" for group in range(settings.query_count)]
+    queries = [students_of_advisor(name) for name in advisors]
+    return _query_latencies(
+        engine,
+        queries,
+        name="fig10_students_of_advisor",
+        description="Per-query latency: students of an advisor (MV-index)",
+    )
+
+
+def fig11_affiliation_of_author(
+    settings: FullDatasetSettings | None = None,
+    workload: DblpWorkload | None = None,
+    engine: MVQueryEngine | None = None,
+) -> ExperimentResult:
+    """Fig. 11: latency of ten "affiliation of author Y" queries on the full dataset."""
+    settings = settings or FullDatasetSettings()
+    workload = workload or full_workload(settings)
+    engine = engine or MVQueryEngine(workload.mvdb)
+    authors = [f"Student {group}-0" for group in range(settings.query_count)]
+    queries = [affiliation_of_author(name) for name in authors]
+    return _query_latencies(
+        engine,
+        queries,
+        name="fig11_affiliation_of_author",
+        description="Per-query latency: affiliation of an author (MV-index)",
+    )
+
+
+# ---------------------------------------------------------------- §5.4 scale
+def scalability_index_build(
+    settings: FullDatasetSettings | None = None,
+    workload: DblpWorkload | None = None,
+) -> ExperimentResult:
+    """§5.4: offline cost and size of building the MV-index on the full dataset."""
+    settings = settings or FullDatasetSettings()
+    workload = workload or full_workload(settings)
+    result = ExperimentResult(
+        name="scalability_index_build",
+        description="Offline MV-index construction on the full synthetic dataset",
+        columns=[
+            "possible_tuples",
+            "w_lineage_clauses",
+            "index_nodes",
+            "index_components",
+            "translate_and_lineage_s",
+            "index_build_s",
+        ],
+    )
+    build_seconds, engine = time_call(lambda: MVQueryEngine(workload.mvdb, build_index=False))
+    index_seconds, engine_with_index = time_call(lambda: MVQueryEngine(workload.mvdb, build_index=True))
+    index = engine_with_index.mv_index
+    result.add_row(
+        possible_tuples=workload.mvdb.possible_tuple_count(),
+        w_lineage_clauses=engine.w_lineage_size,
+        index_nodes=index.size if index is not None else 0,
+        index_components=index.component_count() if index is not None else 0,
+        translate_and_lineage_s=build_seconds,
+        index_build_s=index_seconds,
+    )
+    return result

@@ -1,0 +1,97 @@
+"""Exact probability of monotone DNF lineage by Shannon expansion.
+
+This is a Davis–Putnam-style exact weighted model counter specialised to
+monotone DNF: it decomposes the formula into independent components
+(clauses over disjoint variable sets), applies Shannon expansion on the most
+frequent variable otherwise, and memoizes sub-formulas.  Because it only
+uses independence and Shannon expansion, it remains exact when variable
+probabilities are negative (Sect. 3.3 of the paper).
+
+It is used as a second, OBDD-free exact inference path — handy both for
+cross-checking the OBDD/MV-index pipeline and for queries whose lineage is
+small but whose OBDD order would be awkward.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+from repro.lineage.dnf import DNF, Clause
+
+
+def _components(clauses: frozenset[Clause]) -> list[list[Clause]]:
+    """Partition clauses into connected components by shared variables."""
+    remaining = list(clauses)
+    var_to_clauses: dict[int, list[int]] = {}
+    for index, clause in enumerate(remaining):
+        for var in clause:
+            var_to_clauses.setdefault(var, []).append(index)
+    visited = [False] * len(remaining)
+    components: list[list[Clause]] = []
+    for start in range(len(remaining)):
+        if visited[start]:
+            continue
+        stack = [start]
+        visited[start] = True
+        component: list[Clause] = []
+        while stack:
+            index = stack.pop()
+            component.append(remaining[index])
+            for var in remaining[index]:
+                for other in var_to_clauses[var]:
+                    if not visited[other]:
+                        visited[other] = True
+                        stack.append(other)
+        components.append(component)
+    return components
+
+
+class ShannonEvaluator:
+    """Memoizing exact evaluator for monotone DNF probabilities."""
+
+    def __init__(self, probabilities: Mapping[int, float]) -> None:
+        self._probabilities = probabilities
+        self._cache: dict[frozenset[Clause], float] = {}
+
+    def probability(self, formula: DNF) -> float:
+        """Exact probability of ``formula`` under independent tuple variables."""
+        return self._probability(formula.clauses)
+
+    # ----------------------------------------------------------------- internals
+    def _probability(self, clauses: frozenset[Clause]) -> float:
+        if not clauses:
+            return 0.0
+        if frozenset() in clauses:
+            return 1.0
+        cached = self._cache.get(clauses)
+        if cached is not None:
+            return cached
+        components = _components(clauses)
+        if len(components) > 1:
+            # Independent OR: P(∨ Ci) = 1 - ∏ (1 - P(Ci)).
+            complement = 1.0
+            for component in components:
+                complement *= 1.0 - self._probability(frozenset(component))
+            result = 1.0 - complement
+        else:
+            result = self._shannon(clauses)
+        self._cache[clauses] = result
+        return result
+
+    def _shannon(self, clauses: frozenset[Clause]) -> float:
+        counts: Counter[int] = Counter()
+        for clause in clauses:
+            counts.update(clause)
+        variable, __ = counts.most_common(1)[0]
+        probability = self._probabilities[variable]
+        positive = DNF(clauses).condition(variable, True).clauses
+        negative = DNF(clauses).condition(variable, False).clauses
+        return probability * self._probability(positive) + (1.0 - probability) * self._probability(
+            negative
+        )
+
+
+def shannon_probability(formula: DNF, probabilities: Mapping[int, float]) -> float:
+    """Convenience wrapper: exact probability of ``formula`` via Shannon expansion."""
+    return ShannonEvaluator(probabilities).probability(formula)

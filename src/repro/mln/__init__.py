@@ -1,0 +1,27 @@
+"""Markov Logic Network substrate: grounding, exact, Gibbs and MC-SAT inference."""
+
+from repro.mln.exact import marginals, partition_function, query_probability
+from repro.mln.gibbs import GibbsSampler, gibbs_query_probability
+from repro.mln.mcsat import Constraint, McSatSampler, SampleSat, mcsat_query_probability
+from repro.mln.model import (
+    GroundFeature,
+    MarkovLogicNetwork,
+    features_as_constraints,
+    mln_from_mvdb,
+)
+
+__all__ = [
+    "Constraint",
+    "GibbsSampler",
+    "GroundFeature",
+    "MarkovLogicNetwork",
+    "McSatSampler",
+    "SampleSat",
+    "features_as_constraints",
+    "gibbs_query_probability",
+    "marginals",
+    "mcsat_query_probability",
+    "mln_from_mvdb",
+    "partition_function",
+    "query_probability",
+]

@@ -1,0 +1,59 @@
+"""Exact MLN inference by possible-world enumeration (test oracle)."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Mapping
+
+from repro.errors import InferenceError
+from repro.lineage.dnf import DNF
+from repro.lineage.enumeration import MAX_ENUMERATION_VARIABLES
+from repro.mln.model import MarkovLogicNetwork
+
+
+def _worlds(mln: MarkovLogicNetwork):
+    variables = mln.variables
+    if len(variables) > MAX_ENUMERATION_VARIABLES:
+        raise InferenceError(
+            f"exact MLN inference over {len(variables)} variables refused "
+            f"(limit {MAX_ENUMERATION_VARIABLES})"
+        )
+    for values in product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+def partition_function(mln: MarkovLogicNetwork) -> float:
+    """``Z = Σ_I Φ(I)``."""
+    return sum(mln.world_weight(world) for world in _worlds(mln))
+
+
+def query_probability(mln: MarkovLogicNetwork, formula: DNF) -> float:
+    """Exact probability that ``formula`` holds under the MLN distribution."""
+    numerator = 0.0
+    denominator = 0.0
+    for world in _worlds(mln):
+        weight = mln.world_weight(world)
+        denominator += weight
+        if weight and formula.evaluate(world):
+            numerator += weight
+    if denominator == 0.0:
+        raise InferenceError("the MLN partition function is zero (unsatisfiable hard constraints)")
+    return numerator / denominator
+
+
+def marginals(mln: MarkovLogicNetwork) -> dict[int, float]:
+    """Exact marginal probability of every variable."""
+    totals: Mapping[int, float] = {variable: 0.0 for variable in mln.variables}
+    totals = dict(totals)
+    partition = 0.0
+    for world in _worlds(mln):
+        weight = mln.world_weight(world)
+        partition += weight
+        if weight == 0.0:
+            continue
+        for variable, present in world.items():
+            if present:
+                totals[variable] += weight
+    if partition == 0.0:
+        raise InferenceError("the MLN partition function is zero (unsatisfiable hard constraints)")
+    return {variable: value / partition for variable, value in totals.items()}

@@ -1,0 +1,23 @@
+"""The MV-index: offline compilation of W and online intersection algorithms."""
+
+from repro.mvindex.augmented import AugmentedObdd
+from repro.mvindex.cc_intersect import FlatObdd, cc_mv_intersect
+from repro.mvindex.index import IndexedComponent, MVIndex
+from repro.mvindex.intersect import (
+    IntersectStatistics,
+    compile_query_obdd,
+    mv_intersect,
+    p0_q_or_w,
+)
+
+__all__ = [
+    "AugmentedObdd",
+    "FlatObdd",
+    "IndexedComponent",
+    "IntersectStatistics",
+    "MVIndex",
+    "cc_mv_intersect",
+    "compile_query_obdd",
+    "mv_intersect",
+    "p0_q_or_w",
+]

@@ -1,0 +1,105 @@
+"""Augmented OBDDs: per-node probability and reachability annotations.
+
+Following Sect. 4.1 of the paper, an augmented OBDD stores for every node
+``u``:
+
+* ``prob_under[u]`` — the probability of the Boolean function rooted at ``u``
+  (``p(u)`` in the paper), and
+* ``reachability[u]`` — the sum over all root-to-``u`` paths of the product
+  of edge probabilities.
+
+With these two quantities the probability of the conjunction of the indexed
+formula with a *small* query formula can be computed while touching only the
+nodes on levels spanned by the query (Proposition 3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.obdd.manager import ONE, ZERO, ObddManager
+from repro.obdd.order import VariableOrder
+
+
+class AugmentedObdd:
+    """An OBDD root together with probUnder / reachability annotations."""
+
+    def __init__(
+        self,
+        manager: ObddManager,
+        root: int,
+        order: VariableOrder,
+        probabilities: Mapping[int, float],
+    ) -> None:
+        self.manager = manager
+        self.root = root
+        self.order = order
+        #: probability of each tuple variable, keyed by OBDD level.
+        self.probability_of_level: dict[int, float] = order.probabilities_by_level(probabilities)
+        self.prob_under: dict[int, float] = {ZERO: 0.0, ONE: 1.0}
+        self.reachability: dict[int, float] = {}
+        self.nodes_by_level: dict[int, list[int]] = {}
+        self._annotate()
+
+    # ------------------------------------------------------------------ build
+    def _annotate(self) -> None:
+        manager = self.manager
+        nodes = manager.reachable_nodes(self.root)
+        # probUnder: children before parents (process by decreasing level).
+        for node in sorted(nodes, key=manager.level, reverse=True):
+            probability = self.probability_of_level[manager.level(node)]
+            self.prob_under[node] = (1.0 - probability) * self.prob_under[
+                manager.low(node)
+            ] + probability * self.prob_under[manager.high(node)]
+            self.nodes_by_level.setdefault(manager.level(node), []).append(node)
+        # reachability: parents before children (process by increasing level).
+        reach: dict[int, float] = {node: 0.0 for node in nodes}
+        reach[ZERO] = 0.0
+        reach[ONE] = 0.0
+        if self.root in reach:
+            reach[self.root] = 1.0
+        for node in sorted(nodes, key=manager.level):
+            probability = self.probability_of_level[manager.level(node)]
+            mass = reach[node]
+            reach[manager.low(node)] = reach.get(manager.low(node), 0.0) + mass * (1.0 - probability)
+            reach[manager.high(node)] = reach.get(manager.high(node), 0.0) + mass * probability
+        self.reachability = reach
+
+    # -------------------------------------------------------------- interface
+    @property
+    def probability(self) -> float:
+        """Probability of the whole indexed formula."""
+        if self.manager.is_terminal(self.root):
+            return float(self.root == ONE)
+        return self.prob_under[self.root]
+
+    @property
+    def size(self) -> int:
+        """Number of internal nodes."""
+        return self.manager.size(self.root)
+
+    @property
+    def width(self) -> int:
+        """Maximum number of nodes on a single level."""
+        return self.manager.width(self.root)
+
+    def levels(self) -> set[int]:
+        """Levels (tuple variables) mentioned by the OBDD."""
+        return set(self.nodes_by_level)
+
+    def nodes_at_level(self, level: int) -> list[int]:
+        """All nodes labelled with ``level`` (the IntraBddIndex of the paper)."""
+        return list(self.nodes_by_level.get(level, ()))
+
+    def conjunction_probability_at_level(self, level: int) -> float:
+        """``P(X_level ∧ Φ)`` via the reachability/probUnder shortcut.
+
+        This is the worked example of Sect. 4.1: if ``u1..uc`` are the nodes
+        labelled with the variable and ``v1..vc`` their 1-children, then
+        ``P(X ∧ Φ) = p · Σ_j reachability(u_j) · probUnder(v_j)``.
+        """
+        probability = self.probability_of_level[level]
+        total = 0.0
+        for node in self.nodes_at_level(level):
+            total += self.reachability[node] * self.prob_under[self.manager.high(node)]
+        return probability * total

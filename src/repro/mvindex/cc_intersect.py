@@ -1,0 +1,221 @@
+"""CC-MVIntersect: the cache-conscious variant of MVIntersect.
+
+The paper's CC-MVIntersect (Sect. 4.3) replaces the pointer-based BDD node
+representation with a flat vector sorted by the DFS order of the OBDD, so
+that the traversal touches memory sequentially.  The Python analogue of that
+optimisation is to re-encode every component OBDD of the index — once, when
+it is first needed — into dense parallel arrays (level, 0-child, 1-child,
+probUnder), and to drive the online traversal with an explicit stack over
+small integer indices and a flat memo keyed by packed integers, instead of
+recursive calls over manager nodes and tuple-keyed dictionaries.  The
+algorithmic behaviour (what is traversed, which shortcuts apply) is exactly
+that of :func:`repro.mvindex.intersect.mv_intersect`; only the constant
+factors differ, which is what Fig. 9 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.lineage.dnf import DNF
+from repro.mvindex.augmented import AugmentedObdd
+from repro.mvindex.index import MVIndex
+from repro.mvindex.intersect import IntersectStatistics, compile_query_obdd
+from repro.obdd.manager import ONE, ZERO, ObddManager
+
+#: Flat-array encoding of the two terminals.
+_FLAT_ZERO = 0
+_FLAT_ONE = 1
+#: Level assigned to the terminals in the flat encoding (larger than any variable).
+_FLAT_TERMINAL_LEVEL = 1 << 60
+
+
+@dataclass
+class FlatObdd:
+    """A single OBDD re-encoded as dense arrays in DFS order.
+
+    Index 0 and 1 are the terminals; internal nodes start at index 2 and are
+    numbered in depth-first order from the root, so a top-down traversal
+    walks the arrays mostly sequentially.
+    """
+
+    levels: list[int]
+    lows: list[int]
+    highs: list[int]
+    prob_under: list[float]
+    root: int
+
+    @staticmethod
+    def from_manager(
+        manager: ObddManager, root: int, prob_under: Mapping[int, float] | None = None
+    ) -> "FlatObdd":
+        nodes = manager.reachable_nodes(root)
+        position = {ZERO: _FLAT_ZERO, ONE: _FLAT_ONE}
+        for offset, node in enumerate(nodes):
+            position[node] = offset + 2
+        count = len(nodes) + 2
+        levels = [_FLAT_TERMINAL_LEVEL] * count
+        lows = [0, 1] + [0] * len(nodes)
+        highs = [0, 1] + [0] * len(nodes)
+        under = [0.0, 1.0] + [0.0] * len(nodes)
+        for node in nodes:
+            index = position[node]
+            levels[index] = manager.level(node)
+            lows[index] = position[manager.low(node)]
+            highs[index] = position[manager.high(node)]
+            if prob_under is not None:
+                under[index] = prob_under[node]
+        flat_root = position.get(root, _FLAT_ONE if root == ONE else _FLAT_ZERO)
+        return FlatObdd(levels, lows, highs, under, flat_root)
+
+    @staticmethod
+    def from_augmented(augmented: AugmentedObdd) -> "FlatObdd":
+        """Flatten an augmented OBDD, carrying its probUnder annotations over."""
+        return FlatObdd.from_manager(augmented.manager, augmented.root, augmented.prob_under)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+
+def _flat_component(component) -> FlatObdd:
+    """The cached flat encoding of one index component (built on first use)."""
+    cached = getattr(component, "_flat", None)
+    if cached is None:
+        cached = FlatObdd.from_augmented(component.obdd)
+        component._flat = cached
+    return cached
+
+
+def cc_mv_intersect(
+    index: MVIndex,
+    query_lineage: DNF,
+    probabilities: Mapping[int, float] | None = None,
+    statistics: IntersectStatistics | None = None,
+) -> float:
+    """``P0(Q ∧ ¬W)`` by the cache-conscious flat-array traversal."""
+    probabilities = probabilities or {}
+    stats = statistics if statistics is not None else IntersectStatistics()
+
+    if query_lineage.is_false:
+        return 0.0
+    if query_lineage.is_true:
+        return index.probability_not_w()
+
+    query, order = compile_query_obdd(index, query_lineage, probabilities)
+    touched = index.touched_components(query_lineage.variables())
+    touched_keys = {component.key for component in touched}
+    stats.touched_components = len(touched)
+    stats.untouched_components = index.component_count() - len(touched)
+    untouched = index.untouched_factor(touched_keys)
+    if not touched:
+        return query.probability * untouched
+
+    ordered = sorted(touched, key=lambda c: c.min_level)
+    interleaved = any(
+        current.min_level <= previous.max_level
+        for previous, current in zip(ordered, ordered[1:])
+    )
+    if interleaved:
+        # Rare case (components overlap in the variable order): delegate to the
+        # pointer-based algorithm, which has a synthesised fallback.
+        from repro.mvindex.intersect import mv_intersect
+
+        return mv_intersect(index, query_lineage, probabilities, statistics=stats)
+
+    flat_query = FlatObdd.from_manager(query.manager, query.root, query.prob_under)
+    chain = [_flat_component(component) for component in ordered]
+    suffix = [1.0] * (len(ordered) + 1)
+    for position in range(len(ordered) - 1, -1, -1):
+        suffix[position] = ordered[position].probability_not_w * suffix[position + 1]
+
+    merged_probabilities = dict(index.probabilities)
+    merged_probabilities.update(probabilities)
+    max_level = max(
+        (order.level_of(v) for v in merged_probabilities if v in order), default=-1
+    )
+    probability_of_level = [0.0] * (max_level + 2)
+    for variable, value in merged_probabilities.items():
+        if variable in order:
+            probability_of_level[order.level_of(variable)] = value
+
+    chain_count = len(chain)
+    q_levels, q_lows, q_highs, q_under = (
+        flat_query.levels,
+        flat_query.lows,
+        flat_query.highs,
+        flat_query.prob_under,
+    )
+    # Memo keys pack (chain index, component node, query node) into one integer:
+    # nodes of component i are offset by the total size of earlier components.
+    q_span = len(q_levels)
+    offsets = [0] * chain_count
+    running = 0
+    for position, component in enumerate(chain):
+        offsets[position] = running
+        running += len(component.levels)
+
+    def resolve(q_node: int, chain_index: int, w_node: int):
+        """Normalise a state: advance past exhausted components, detect leaves."""
+        while True:
+            if q_node == _FLAT_ZERO or w_node == _FLAT_ZERO:
+                return 0.0
+            if w_node == _FLAT_ONE:
+                if chain_index + 1 < chain_count:
+                    chain_index += 1
+                    w_node = chain[chain_index].root
+                    continue
+                return q_under[q_node] if q_node != _FLAT_ONE else 1.0
+            if q_node == _FLAT_ONE:
+                return chain[chain_index].prob_under[w_node] * suffix[chain_index + 1]
+            return (q_node, chain_index, w_node)
+
+    memo: dict[int, float] = {}
+    initial = resolve(flat_query.root, 0, chain[0].root)
+    if isinstance(initial, float):
+        return initial * untouched
+
+    stack: list[tuple[int, int, int]] = [initial]
+    while stack:
+        q_node, chain_index, w_node = stack[-1]
+        component = chain[chain_index]
+        key = (offsets[chain_index] + w_node) * q_span + q_node
+        if key in memo:
+            stack.pop()
+            continue
+        q_level = q_levels[q_node]
+        w_level = component.levels[w_node]
+        if q_level <= w_level:
+            level = q_level
+            q_low, q_high = q_lows[q_node], q_highs[q_node]
+        else:
+            level = w_level
+            q_low, q_high = q_node, q_node
+        if w_level <= q_level:
+            w_low, w_high = component.lows[w_node], component.highs[w_node]
+        else:
+            w_low, w_high = w_node, w_node
+        low_state = resolve(q_low, chain_index, w_low)
+        high_state = resolve(q_high, chain_index, w_high)
+        pending = []
+        low_key = high_key = -1
+        if type(low_state) is not float:
+            low_key = (offsets[low_state[1]] + low_state[2]) * q_span + low_state[0]
+            if low_key not in memo:
+                pending.append(low_state)
+        if type(high_state) is not float:
+            high_key = (offsets[high_state[1]] + high_state[2]) * q_span + high_state[0]
+            if high_key not in memo:
+                pending.append(high_state)
+        if pending:
+            stack.extend(pending)
+            continue
+        low_value = low_state if type(low_state) is float else memo[low_key]
+        high_value = high_state if type(high_state) is float else memo[high_key]
+        probability = probability_of_level[level]
+        memo[key] = (1.0 - probability) * low_value + probability * high_value
+        stats.pair_expansions += 1
+        stack.pop()
+
+    initial_key = (offsets[initial[1]] + initial[2]) * q_span + initial[0]
+    return memo[initial_key] * untouched

@@ -1,0 +1,174 @@
+"""The MV-index: offline compilation of the view query ``W``.
+
+An MV-index (Sect. 4.1) is a collection of augmented OBDDs — one per
+independent component of the lineage of ``W`` — plus two lookup structures:
+
+* the **InterBddIndex** maps a tuple variable to the key of the component
+  OBDD containing it, and
+* the **IntraBddIndex** maps a tuple variable to the nodes labelled with it
+  inside that OBDD.
+
+Each component OBDD stores ``¬W_k`` (the negation is what Theorem 1's
+evaluation needs), and the index pre-computes ``P0(¬W_k)`` for every
+component so that queries only pay for the components their lineage touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import CompilationError
+from repro.lineage.dnf import DNF
+from repro.obdd.construct import connected_components, build_obdd
+from repro.obdd.manager import ONE, ObddManager
+from repro.obdd.order import VariableOrder
+from repro.mvindex.augmented import AugmentedObdd
+
+
+@dataclass
+class IndexedComponent:
+    """One component of the MV-index: an augmented OBDD of ``¬W_k``."""
+
+    key: int
+    obdd: AugmentedObdd
+    min_level: int
+    max_level: int
+    variables: frozenset[int]
+
+    @property
+    def probability_not_w(self) -> float:
+        """``P0(¬W_k)`` for this component."""
+        return self.obdd.probability
+
+
+class MVIndex:
+    """Offline-compiled index over the MarkoView query ``W``."""
+
+    def __init__(
+        self,
+        w_lineage: DNF,
+        probabilities: Mapping[int, float],
+        order: VariableOrder,
+        construction: str = "concat",
+    ) -> None:
+        self.order = order
+        self.manager = ObddManager()
+        self.probabilities = dict(probabilities)
+        self.components: dict[int, IndexedComponent] = {}
+        self._component_of_variable: dict[int, int] = {}
+        self._build(w_lineage, construction)
+
+    # ------------------------------------------------------------------ build
+    def _build(self, w_lineage: DNF, construction: str) -> None:
+        if w_lineage.is_true:
+            raise CompilationError(
+                "the view query W is certainly true: every possible world violates a "
+                "MarkoView, so the MVDB distribution is undefined (P0(¬W) = 0)"
+            )
+        for key, clauses in enumerate(connected_components(w_lineage.clauses)):
+            component_dnf = DNF(clauses)
+            compiled = build_obdd(
+                component_dnf, self.order, manager=self.manager, method=construction
+            )
+            negated_root = self.manager.negate(compiled.root)
+            augmented = AugmentedObdd(self.manager, negated_root, self.order, self.probabilities)
+            variables = component_dnf.variables()
+            levels = [self.order.level_of(v) for v in variables]
+            component = IndexedComponent(
+                key=key,
+                obdd=augmented,
+                min_level=min(levels),
+                max_level=max(levels),
+                variables=variables,
+            )
+            self.components[key] = component
+            for variable in variables:
+                self._component_of_variable[variable] = key
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def size(self) -> int:
+        """Total number of OBDD nodes across all components."""
+        return sum(component.obdd.size for component in self.components.values())
+
+    @property
+    def width(self) -> int:
+        """Maximum component width."""
+        return max((component.obdd.width for component in self.components.values()), default=0)
+
+    def component_count(self) -> int:
+        """Number of independent components (augmented OBDDs)."""
+        return len(self.components)
+
+    def variables(self) -> set[int]:
+        """All tuple variables indexed by W."""
+        return set(self._component_of_variable)
+
+    # --------------------------------------------------------------- indexes
+    def component_of(self, variable: int) -> int | None:
+        """InterBddIndex: the key of the component containing ``variable``."""
+        return self._component_of_variable.get(variable)
+
+    def nodes_for(self, variable: int) -> list[int]:
+        """IntraBddIndex: OBDD nodes labelled with ``variable`` in its component."""
+        key = self.component_of(variable)
+        if key is None:
+            return []
+        return self.components[key].obdd.nodes_at_level(self.order.level_of(variable))
+
+    def touched_components(self, variables: Iterable[int]) -> list[IndexedComponent]:
+        """Components containing at least one of the given variables."""
+        keys = {
+            self._component_of_variable[v]
+            for v in variables
+            if v in self._component_of_variable
+        }
+        return [self.components[key] for key in sorted(keys)]
+
+    # ------------------------------------------------------------ probability
+    def probability_not_w(self) -> float:
+        """``P0(¬W)``: product of the per-component complements."""
+        result = 1.0
+        for component in self.components.values():
+            result *= component.probability_not_w
+        return result
+
+    def probability_w(self) -> float:
+        """``P0(W)``."""
+        return 1.0 - self.probability_not_w()
+
+    def untouched_factor(self, touched_keys: set[int]) -> float:
+        """Product of ``P0(¬W_k)`` over the components *not* touched by a query."""
+        result = 1.0
+        for key, component in self.components.items():
+            if key not in touched_keys:
+                result *= component.probability_not_w
+        return result
+
+    def conjoined_not_w_root(self, components: list[IndexedComponent]) -> int:
+        """OBDD root of ``∧_k ¬W_k`` over the given components.
+
+        Components with non-overlapping level ranges are chained by
+        concatenation (replace the 1-terminal of the earlier component by the
+        root of the next), which is linear; interleaving ranges fall back to
+        ``apply``.
+        """
+        if not components:
+            return ONE
+        ordered = sorted(components, key=lambda c: c.min_level)
+        root = ordered[-1].obdd.root
+        previous_min = ordered[-1].min_level
+        for component in reversed(ordered[:-1]):
+            if component.max_level < previous_min:
+                root = self.manager.substitute_terminal(component.obdd.root, ONE, root)
+            else:
+                root = self.manager.apply_and(component.obdd.root, root)
+            previous_min = min(previous_min, component.min_level)
+        return root
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MVIndex({self.component_count()} components, {self.size} nodes, "
+            f"width {self.width})"
+        )

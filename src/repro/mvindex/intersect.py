@@ -1,0 +1,259 @@
+"""MVIntersect: online evaluation of ``P0(Q ∧ ¬W)`` against an MV-index.
+
+Given a query lineage ``Φ_Q`` (small) and the MV-index of ``W`` (large), the
+numerator of Theorem 1, ``P0(Q ∨ W) − P0(W) = P0(Q ∧ ¬W)``, is computed by a
+top-down simultaneous traversal of the query OBDD and the indexed component
+OBDDs of ``¬W``:
+
+* components of ``W`` not touched by the query contribute their pre-computed
+  ``P0(¬W_k)`` as a multiplicative factor (this is why typical queries touch
+  only a small fraction of the index);
+* inside the touched region the traversal is a memoized pairwise Shannon
+  expansion; whenever the query OBDD reaches its 1-terminal, the pre-computed
+  ``probUnder`` annotation of the index node closes the remaining sub-OBDD in
+  constant time (the augmentation of Sect. 4.1).
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import InferenceError
+from repro.lineage.dnf import DNF
+from repro.mvindex.augmented import AugmentedObdd
+from repro.mvindex.index import IndexedComponent, MVIndex
+from repro.obdd.construct import build_obdd
+from repro.obdd.manager import ONE, ZERO, ObddManager
+from repro.obdd.order import VariableOrder
+
+
+@contextmanager
+def _recursion_limit(limit: int):
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(previous, limit))
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+@dataclass
+class IntersectStatistics:
+    """Work counters reported by an intersection run (used by benchmarks)."""
+
+    touched_components: int = 0
+    untouched_components: int = 0
+    pair_expansions: int = 0
+
+
+class _ChainView:
+    """A virtual concatenation of touched component OBDDs of ``¬W``.
+
+    Components are ordered by level range; the conjunction ``∧_k ¬W_k`` is
+    never materialised — reaching the 1-terminal of one component simply
+    advances the traversal to the next component's root.
+    """
+
+    def __init__(self, components: list[IndexedComponent]) -> None:
+        self.components = sorted(components, key=lambda c: c.min_level)
+        for previous, current in zip(self.components, self.components[1:]):
+            if current.min_level <= previous.max_level:
+                raise InferenceError(
+                    "touched MV-index components have interleaving level ranges; "
+                    "use the synthesised fallback"
+                )
+        # Suffix products of P0(¬W_k): suffix[i] = Π_{j ≥ i} P0(¬W_j).
+        self.suffix = [1.0] * (len(self.components) + 1)
+        for index in range(len(self.components) - 1, -1, -1):
+            self.suffix[index] = (
+                self.components[index].probability_not_w * self.suffix[index + 1]
+            )
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def obdd(self, index: int) -> AugmentedObdd:
+        return self.components[index].obdd
+
+
+def compile_query_obdd(
+    index: MVIndex,
+    query_lineage: DNF,
+    probabilities: Mapping[int, float],
+) -> tuple[AugmentedObdd, VariableOrder]:
+    """Compile the query lineage under the index order (free variables appended)."""
+    order = index.order.extend(sorted(query_lineage.variables()))
+    manager = ObddManager()
+    compiled = build_obdd(query_lineage, order, manager=manager, method="concat")
+    merged_probabilities = dict(index.probabilities)
+    merged_probabilities.update(probabilities)
+    augmented = AugmentedObdd(manager, compiled.root, order, merged_probabilities)
+    return augmented, order
+
+
+def mv_intersect(
+    index: MVIndex,
+    query_lineage: DNF,
+    probabilities: Mapping[int, float] | None = None,
+    statistics: IntersectStatistics | None = None,
+) -> float:
+    """``P0(Q ∧ ¬W)`` by the (pointer-based) MVIntersect algorithm."""
+    probabilities = probabilities or {}
+    stats = statistics if statistics is not None else IntersectStatistics()
+
+    if query_lineage.is_false:
+        return 0.0
+    if query_lineage.is_true:
+        return index.probability_not_w()
+
+    query, order = compile_query_obdd(index, query_lineage, probabilities)
+    touched = index.touched_components(query_lineage.variables())
+    touched_keys = {component.key for component in touched}
+    stats.touched_components = len(touched)
+    stats.untouched_components = index.component_count() - len(touched)
+    untouched = index.untouched_factor(touched_keys)
+
+    if not touched:
+        return query.probability * untouched
+
+    try:
+        chain = _ChainView(touched)
+    except InferenceError:
+        # Touched components interleave in the variable order: conjoin them
+        # explicitly and fall back to a plain pairwise traversal.
+        return _synthesised_intersect(index, query, touched, probabilities) * untouched
+    w_manager = index.manager
+    q_manager = query.manager
+    merged_probabilities = dict(index.probabilities)
+    merged_probabilities.update(probabilities)
+    probability_of_level = {
+        order.level_of(variable): value for variable, value in merged_probabilities.items()
+        if variable in order
+    }
+
+    memo: dict[tuple[int, int, int], float] = {}
+
+    def walk(q_node: int, chain_index: int, w_node: int) -> float:
+        if q_node == ZERO or w_node == ZERO:
+            return 0.0
+        if w_node == ONE:
+            if chain_index + 1 < len(chain):
+                return walk(q_node, chain_index + 1, chain.obdd(chain_index + 1).root)
+            return query.prob_under[q_node] if q_node != ONE else 1.0
+        if q_node == ONE:
+            # The augmentation shortcut: close the remaining index sub-OBDD and
+            # the untouched suffix of the chain with pre-computed quantities.
+            return chain.obdd(chain_index).prob_under[w_node] * chain.suffix[chain_index + 1]
+        key = (q_node, chain_index, w_node)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        stats.pair_expansions += 1
+        q_level = q_manager.level(q_node)
+        w_level = w_manager.level(w_node)
+        level = min(q_level, w_level)
+        probability = probability_of_level[level]
+        q_low, q_high = (
+            (q_manager.low(q_node), q_manager.high(q_node)) if q_level == level else (q_node, q_node)
+        )
+        w_low, w_high = (
+            (w_manager.low(w_node), w_manager.high(w_node)) if w_level == level else (w_node, w_node)
+        )
+        result = (1.0 - probability) * walk(q_low, chain_index, w_low) + probability * walk(
+            q_high, chain_index, w_high
+        )
+        memo[key] = result
+        return result
+
+    with _recursion_limit(200_000):
+        touched_probability = walk(query.root, 0, chain.obdd(0).root)
+    return touched_probability * untouched
+
+
+def _synthesised_intersect(
+    index: MVIndex,
+    query: AugmentedObdd,
+    touched: list[IndexedComponent],
+    probabilities: Mapping[int, float],
+) -> float:
+    """Fallback for interleaving components: conjoin ``¬W_k`` explicitly.
+
+    The conjunction of the touched components is materialised (by
+    concatenation when possible, by ``apply`` otherwise), ``probUnder`` is
+    computed lazily for it, and the standard pairwise Shannon traversal is
+    run against the query OBDD.
+    """
+    w_manager = index.manager
+    q_manager = query.manager
+    w_root = index.conjoined_not_w_root(touched)
+    merged_probabilities = dict(index.probabilities)
+    merged_probabilities.update(probabilities)
+    probability_of_level = {
+        query.order.level_of(variable): value
+        for variable, value in merged_probabilities.items()
+        if variable in query.order
+    }
+
+    prob_under_cache: dict[int, float] = {ZERO: 0.0, ONE: 1.0}
+
+    def prob_under(node: int) -> float:
+        cached = prob_under_cache.get(node)
+        if cached is not None:
+            return cached
+        probability = probability_of_level[w_manager.level(node)]
+        result = (1.0 - probability) * prob_under(w_manager.low(node)) + probability * prob_under(
+            w_manager.high(node)
+        )
+        prob_under_cache[node] = result
+        return result
+
+    memo: dict[tuple[int, int], float] = {}
+
+    def walk(q_node: int, w_node: int) -> float:
+        if q_node == ZERO or w_node == ZERO:
+            return 0.0
+        if q_node == ONE:
+            return prob_under(w_node)
+        if w_node == ONE:
+            return query.prob_under[q_node]
+        key = (q_node, w_node)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        q_level = q_manager.level(q_node)
+        w_level = w_manager.level(w_node)
+        level = min(q_level, w_level)
+        probability = probability_of_level[level]
+        q_low, q_high = (
+            (q_manager.low(q_node), q_manager.high(q_node)) if q_level == level else (q_node, q_node)
+        )
+        w_low, w_high = (
+            (w_manager.low(w_node), w_manager.high(w_node)) if w_level == level else (w_node, w_node)
+        )
+        result = (1.0 - probability) * walk(q_low, w_low) + probability * walk(q_high, w_high)
+        memo[key] = result
+        return result
+
+    with _recursion_limit(200_000):
+        return walk(query.root, w_root)
+
+
+def p0_q_or_w(
+    index: MVIndex,
+    query_lineage: DNF,
+    probabilities: Mapping[int, float] | None = None,
+    algorithm: str = "cc",
+) -> float:
+    """``P0(Q ∨ W) = P0(W) + P0(Q ∧ ¬W)`` using the chosen intersection algorithm."""
+    from repro.mvindex.cc_intersect import cc_mv_intersect
+
+    if algorithm == "cc":
+        conjunction = cc_mv_intersect(index, query_lineage, probabilities)
+    elif algorithm == "mv":
+        conjunction = mv_intersect(index, query_lineage, probabilities)
+    else:
+        raise InferenceError(f"unknown intersection algorithm {algorithm!r}")
+    return index.probability_w() + conjunction

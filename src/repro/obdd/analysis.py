@@ -1,0 +1,213 @@
+"""Structural analysis of UCQs: root variables, separators, inversion-freeness.
+
+These notions (Sect. 4.2 of the paper, based on Jha & Suciu, ICDT 2011)
+determine when the ConOBDD construction can proceed purely by concatenation
+and therefore when the compiled OBDD is guaranteed to be linear in the size
+of the active domain:
+
+* a *root variable* of a CQ appears in every atom of the CQ (restricted to
+  the probabilistic relations — deterministic atoms contribute no lineage);
+* a *separator variable* of a UCQ is a choice of root variable per disjunct
+  such that any two atoms with the same relation symbol carry it at the same
+  attribute position;
+* a UCQ is *inversion-free* if it can be recursively decomposed by
+  independent components and separator variables down to ground atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Variable, is_variable
+from repro.query.ucq import UCQ, as_ucq
+
+
+def _probabilistic_atoms(cq: ConjunctiveQuery, probabilistic: set[str] | None):
+    atoms = list(cq.atoms)
+    if probabilistic is None:
+        return atoms
+    return [atom for atom in atoms if atom.relation in probabilistic]
+
+
+def root_variables(
+    cq: ConjunctiveQuery, probabilistic: set[str] | None = None
+) -> set[Variable]:
+    """Variables occurring in every (probabilistic) atom of the CQ."""
+    atoms = _probabilistic_atoms(cq, probabilistic)
+    if not atoms:
+        return set()
+    common: set[Variable] | None = None
+    for atom in atoms:
+        atom_vars = set(atom.variables())
+        common = atom_vars if common is None else common & atom_vars
+    return common or set()
+
+
+def _positions_of(atom, variable: Variable) -> set[int]:
+    return {i for i, term in enumerate(atom.terms) if term == variable}
+
+
+def find_separator(
+    query: UCQ | ConjunctiveQuery, probabilistic: set[str] | None = None
+) -> Optional[dict[int, Variable]]:
+    """Find a separator variable assignment for a Boolean UCQ.
+
+    Returns a mapping ``disjunct index -> chosen root variable`` if one choice
+    of root variables per disjunct places the variable at a consistent
+    attribute position in every occurrence of every shared relation symbol,
+    or ``None`` if no separator exists.
+    """
+    ucq = as_ucq(query)
+    candidate_lists: list[list[Variable]] = []
+    for cq in ucq.disjuncts:
+        roots = sorted(root_variables(cq, probabilistic), key=lambda v: v.name)
+        if not roots:
+            atoms = _probabilistic_atoms(cq, probabilistic)
+            if not atoms:
+                # A disjunct without probabilistic atoms imposes no constraint.
+                candidate_lists.append([Variable("__none__")])
+                continue
+            return None
+        candidate_lists.append(roots)
+
+    def consistent(choice: list[Variable]) -> bool:
+        position_of_relation: dict[str, set[int]] = {}
+        for cq, variable in zip(ucq.disjuncts, choice):
+            if variable.name == "__none__":
+                continue
+            for atom in _probabilistic_atoms(cq, probabilistic):
+                positions = _positions_of(atom, variable)
+                if not positions:
+                    return False
+                known = position_of_relation.setdefault(atom.relation, positions)
+                if not (known & positions):
+                    return False
+                position_of_relation[atom.relation] = known & positions
+        return True
+
+    def search(index: int, chosen: list[Variable]) -> Optional[list[Variable]]:
+        if index == len(candidate_lists):
+            return list(chosen) if consistent(chosen) else None
+        for variable in candidate_lists[index]:
+            chosen.append(variable)
+            if consistent(chosen):
+                found = search(index + 1, chosen)
+                if found is not None:
+                    return found
+            chosen.pop()
+        return None
+
+    found = search(0, [])
+    if found is None:
+        return None
+    return {
+        index: variable
+        for index, variable in enumerate(found)
+        if variable.name != "__none__"
+    }
+
+
+def _strip_separator(cq: ConjunctiveQuery, separator: Variable) -> ConjunctiveQuery | None:
+    """Remove the separator variable position from every atom (recursion step)."""
+    from repro.query.atoms import Atom
+
+    new_atoms = []
+    for atom in cq.atoms:
+        new_terms = [term for term in atom.terms if term != separator]
+        if not new_terms:
+            return None
+        new_atoms.append(Atom(atom.relation, new_terms))
+    remaining_vars = {v for atom in new_atoms for v in atom.variables()}
+    comparisons = [
+        c for c in cq.comparisons if all(v in remaining_vars for v in c.variables())
+    ]
+    head = [v for v in cq.head if v in remaining_vars]
+    return ConjunctiveQuery(head, new_atoms, comparisons, name=cq.name)
+
+
+def _independent_groups(ucq: UCQ, probabilistic: set[str] | None) -> list[list[int]]:
+    """Group disjunct indices by shared probabilistic relation symbols."""
+    groups: list[tuple[set[str], list[int]]] = []
+    for index, cq in enumerate(ucq.disjuncts):
+        relations = {a.relation for a in _probabilistic_atoms(cq, probabilistic)}
+        merged: tuple[set[str], list[int]] | None = None
+        remaining: list[tuple[set[str], list[int]]] = []
+        for group_relations, members in groups:
+            if group_relations & relations or (not relations and not group_relations):
+                if merged is None:
+                    merged = (group_relations | relations, members + [index])
+                else:
+                    merged = (merged[0] | group_relations, merged[1] + members)
+            else:
+                remaining.append((group_relations, members))
+        if merged is None:
+            merged = (relations, [index])
+        groups = remaining + [merged]
+    return [members for __, members in groups]
+
+
+def is_inversion_free(
+    query: UCQ | ConjunctiveQuery,
+    probabilistic: set[str] | None = None,
+    _depth: int = 0,
+) -> bool:
+    """True if the UCQ is inversion-free (ConOBDD needs no synthesis in R3).
+
+    Inversion-free queries compile to OBDDs of constant width, hence linear
+    size in the active domain (Proposition 2 of the paper).
+    """
+    if _depth > 32:
+        return False
+    ucq = as_ucq(query)
+
+    # Base case: no probabilistic atoms anywhere.
+    if all(not _probabilistic_atoms(cq, probabilistic) for cq in ucq.disjuncts):
+        return True
+
+    # Decompose into independent groups (no shared probabilistic symbols).
+    groups = _independent_groups(ucq, probabilistic)
+    if len(groups) > 1:
+        return all(
+            is_inversion_free(
+                UCQ([ucq.disjuncts[i] for i in members], name=ucq.name),
+                probabilistic,
+                _depth + 1,
+            )
+            for members in groups
+        )
+
+    separator = find_separator(ucq, probabilistic)
+    if separator is None:
+        # Single disjunct with a single probabilistic atom left is fine.
+        if len(ucq.disjuncts) == 1:
+            atoms = _probabilistic_atoms(ucq.disjuncts[0], probabilistic)
+            if len(atoms) <= 1:
+                return True
+        return False
+
+    stripped: list[ConjunctiveQuery] = []
+    for index, cq in enumerate(ucq.disjuncts):
+        if index not in separator:
+            stripped.append(cq)
+            continue
+        reduced = _strip_separator(cq, separator[index])
+        if reduced is None:
+            continue
+        if not _probabilistic_atoms(reduced, probabilistic):
+            continue
+        stripped.append(reduced)
+    if not stripped:
+        return True
+    heads = {tuple(v.name for v in cq.head) for cq in stripped}
+    if len(heads) > 1:
+        stripped = [
+            ConjunctiveQuery([], cq.atoms, cq.comparisons, name=cq.name) for cq in stripped
+        ]
+    return is_inversion_free(UCQ(stripped, name=ucq.name), probabilistic, _depth + 1)
+
+
+def has_separator(query: UCQ | ConjunctiveQuery, probabilistic: Iterable[str] | None = None) -> bool:
+    """Convenience wrapper: does the query admit a separator variable?"""
+    prob_set = set(probabilistic) if probabilistic is not None else None
+    return find_separator(query, prob_set) is not None

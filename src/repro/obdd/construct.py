@@ -1,0 +1,191 @@
+"""OBDD construction for UCQ lineage: synthesis vs concatenation (ConOBDD).
+
+Two construction strategies are provided for a monotone DNF lineage under a
+fixed variable order:
+
+* ``synthesis`` — the CUDD-style baseline: build one small OBDD per clause
+  and OR them into an accumulator with pairwise ``apply``.  Every step
+  re-traverses the accumulated result, so total work grows quadratically in
+  the number of independent blocks.
+
+* ``concat`` — the paper's ConOBDD strategy (rules R1–R4): partition the
+  clauses into connected components (clauses sharing no variables are
+  independent), lay the components out along the variable order, synthesise
+  only *inside* a component, and chain consecutive components by
+  *concatenation* (replacing the 0-terminal of one component's OBDD with the
+  root of the next), which is linear.  When the query has a separator
+  variable and the order is derived from separator-first permutations, every
+  component is tiny and the whole construction is linear in the data — this
+  is Proposition 1/2 of the paper.
+
+Both strategies produce the same reduced OBDD (the order determines it
+uniquely); only the construction cost differs, which is what Fig. 8 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal, Mapping
+
+from repro.errors import CompilationError
+from repro.lineage.dnf import DNF, Clause
+from repro.obdd.manager import ONE, ZERO, ObddManager
+from repro.obdd.order import VariableOrder
+
+ConstructionMethod = Literal["concat", "synthesis"]
+
+
+@dataclass
+class CompiledObdd:
+    """A compiled lineage: manager, root node, and the variable order used."""
+
+    manager: ObddManager
+    root: int
+    order: VariableOrder
+
+    @property
+    def size(self) -> int:
+        """Number of internal nodes."""
+        return self.manager.size(self.root)
+
+    @property
+    def width(self) -> int:
+        """Maximum number of nodes at any level."""
+        return self.manager.width(self.root)
+
+    def probability(self, probabilities: Mapping[int, float]) -> float:
+        """Probability of the compiled formula (``probabilities`` keyed by variable)."""
+        by_level = self.order.probabilities_by_level(probabilities)
+        return self.manager.probability(self.root, by_level)
+
+    def negate(self) -> "CompiledObdd":
+        """The compiled complement."""
+        return CompiledObdd(self.manager, self.manager.negate(self.root), self.order)
+
+
+def clause_obdd(manager: ObddManager, levels: Iterable[int]) -> int:
+    """OBDD of a conjunction of positive literals given by their levels."""
+    node = ONE
+    for level in sorted(levels, reverse=True):
+        node = manager.make_node(level, ZERO, node)
+    return node
+
+
+def connected_components(clauses: Iterable[Clause]) -> list[list[Clause]]:
+    """Partition clauses into connected components by shared variables."""
+    clause_list = list(clauses)
+    var_to_indices: dict[int, list[int]] = {}
+    for index, clause in enumerate(clause_list):
+        for variable in clause:
+            var_to_indices.setdefault(variable, []).append(index)
+    visited = [False] * len(clause_list)
+    components: list[list[Clause]] = []
+    for start in range(len(clause_list)):
+        if visited[start]:
+            continue
+        stack = [start]
+        visited[start] = True
+        component: list[Clause] = []
+        while stack:
+            index = stack.pop()
+            component.append(clause_list[index])
+            for variable in clause_list[index]:
+                for other in var_to_indices[variable]:
+                    if not visited[other]:
+                        visited[other] = True
+                        stack.append(other)
+        components.append(component)
+    return components
+
+
+def _clause_levels(clause: Clause, order: VariableOrder) -> list[int]:
+    return sorted(order.level_of(variable) for variable in clause)
+
+
+def _synthesize_clauses(manager: ObddManager, clauses: list[Clause], order: VariableOrder) -> int:
+    """OR together clause OBDDs with pairwise apply (used inside components)."""
+    root = ZERO
+    for clause in sorted(clauses, key=lambda c: _clause_levels(c, order)):
+        root = manager.apply_or(root, clause_obdd(manager, _clause_levels(clause, order)))
+    return root
+
+
+def synthesize_dnf(manager: ObddManager, formula: DNF, order: VariableOrder) -> int:
+    """CUDD-style construction: accumulate every clause with pairwise apply."""
+    if formula.is_true:
+        return ONE
+    if formula.is_false:
+        return ZERO
+    return _synthesize_clauses(manager, list(formula.clauses), order)
+
+
+def concatenate_dnf(manager: ObddManager, formula: DNF, order: VariableOrder) -> int:
+    """ConOBDD construction: synthesis inside components, concatenation across.
+
+    Components whose level ranges interleave cannot be concatenated (the
+    result would not be ordered); they are merged into a single synthesis
+    block — this is the hybrid case discussed after rule R4 in the paper.
+    """
+    if formula.is_true:
+        return ONE
+    if formula.is_false:
+        return ZERO
+
+    components = connected_components(formula.clauses)
+    ranges = []
+    for component in components:
+        levels = [order.level_of(v) for clause in component for v in clause]
+        ranges.append((min(levels), max(levels), component))
+    ranges.sort(key=lambda item: item[0])
+
+    # Merge interleaving components into blocks of non-overlapping level ranges.
+    blocks: list[tuple[int, int, list[Clause]]] = []
+    for low, high, component in ranges:
+        if blocks and low <= blocks[-1][1]:
+            previous_low, previous_high, previous_clauses = blocks[-1]
+            blocks[-1] = (previous_low, max(previous_high, high), previous_clauses + component)
+        else:
+            blocks.append((low, high, list(component)))
+
+    # Build blocks from the last (largest levels) to the first, redirecting the
+    # 0-terminal of each block to the disjunction of everything after it.
+    result = ZERO
+    for __, __, clauses in reversed(blocks):
+        block_root = _synthesize_clauses(manager, clauses, order)
+        if result == ZERO:
+            result = block_root
+        else:
+            result = manager.substitute_terminal(block_root, ZERO, result)
+    return result
+
+
+def build_obdd(
+    formula: DNF,
+    order: VariableOrder,
+    manager: ObddManager | None = None,
+    method: ConstructionMethod = "concat",
+) -> CompiledObdd:
+    """Compile a monotone DNF lineage into an OBDD under ``order``.
+
+    Parameters
+    ----------
+    formula:
+        The lineage to compile.
+    order:
+        Variable order; every variable of ``formula`` must be in it.
+    manager:
+        Optional existing manager (so several formulas share a unique table).
+    method:
+        ``"concat"`` (ConOBDD, default) or ``"synthesis"`` (CUDD baseline).
+    """
+    missing = [v for v in formula.variables() if v not in order]
+    if missing:
+        raise CompilationError(f"variables {missing[:5]} are not in the variable order")
+    manager = manager if manager is not None else ObddManager()
+    if method == "synthesis":
+        root = synthesize_dnf(manager, formula, order)
+    elif method == "concat":
+        root = concatenate_dnf(manager, formula, order)
+    else:
+        raise CompilationError(f"unknown construction method {method!r}")
+    return CompiledObdd(manager, root, order)

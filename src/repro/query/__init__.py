@@ -1,0 +1,40 @@
+"""Query language: terms, atoms, conjunctive queries, UCQs, parser, evaluator."""
+
+from repro.query.atoms import Atom, Comparison
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluator import (
+    LineageProvider,
+    NoLineage,
+    QueryResult,
+    answer_probabilities,
+    boolean_lineage,
+    evaluate_cq,
+    evaluate_ucq,
+)
+from repro.query.parser import parse_query, parse_rule
+from repro.query.terms import Constant, Term, Variable, is_constant, is_variable, make_term
+from repro.query.ucq import UCQ, UnionOfConjunctiveQueries, as_ucq
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "Constant",
+    "LineageProvider",
+    "NoLineage",
+    "QueryResult",
+    "Term",
+    "UCQ",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "answer_probabilities",
+    "as_ucq",
+    "boolean_lineage",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "is_constant",
+    "is_variable",
+    "make_term",
+    "parse_query",
+    "parse_rule",
+]

@@ -1,0 +1,131 @@
+"""Relational atoms and comparison predicates.
+
+A conjunctive query body is a list of positive relational atoms plus
+built-in comparison predicates (``<``, ``<=``, ``>``, ``>=``, ``=``, ``!=``)
+and a SQL-style ``like`` substring predicate, exactly the fragment used by
+the paper's running example (Fig. 2 uses ``n1 like '%Madden%'`` and
+``aid2 <> aid3``).
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import EvaluationError, QueryError
+from repro.query.terms import Constant, Term, Variable, is_variable, make_term
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _like(value: Any, pattern: Any) -> bool:
+    """SQL LIKE with ``%`` (any substring) and ``_`` (any character)."""
+    regex = re.escape(str(pattern)).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, str(value)) is not None
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A positive relational atom ``R(t1, ..., tk)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Iterable[Any]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(make_term(t) for t in terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of terms."""
+        return len(self.terms)
+
+    def variables(self) -> list[Variable]:
+        """Variables occurring in the atom, in positional order (with duplicates)."""
+        return [t for t in self.terms if is_variable(t)]
+
+    def substitute(self, substitution: dict[Variable, Any]) -> "Atom":
+        """Replace variables by the values bound in ``substitution``.
+
+        Values are wrapped as constants; unbound variables are left alone.
+        """
+        new_terms: list[Term] = []
+        for term in self.terms:
+            if is_variable(term) and term in substitution:
+                new_terms.append(Constant(substitution[term]))
+            else:
+                new_terms.append(term)
+        return Atom(self.relation, new_terms)
+
+    def is_ground(self) -> bool:
+        """True if the atom contains no variables."""
+        return not any(is_variable(t) for t in self.terms)
+
+    def ground_row(self) -> tuple[Any, ...]:
+        """The database row denoted by a ground atom."""
+        if not self.is_ground():
+            raise QueryError(f"atom {self} is not ground")
+        return tuple(t.value for t in self.terms)  # type: ignore[union-attr]
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({args})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in predicate ``left op right`` between terms.
+
+    ``op`` is one of ``= != <> < <= > >= like``.
+    """
+
+    left: Term
+    op: str
+    right: Term
+
+    def __init__(self, left: Any, op: str, right: Any) -> None:
+        op = op.strip().lower()
+        if op not in _OPERATORS and op != "like":
+            raise QueryError(f"unsupported comparison operator {op!r}")
+        object.__setattr__(self, "left", make_term(left))
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "right", make_term(right))
+
+    def variables(self) -> list[Variable]:
+        """Variables occurring in the comparison."""
+        return [t for t in (self.left, self.right) if is_variable(t)]
+
+    def _resolve(self, term: Term, substitution: dict[Variable, Any]) -> Any:
+        if is_variable(term):
+            if term not in substitution:
+                raise EvaluationError(
+                    f"variable {term!r} in comparison {self} is not bound; comparisons must "
+                    "only use variables bound by a relational atom"
+                )
+            return substitution[term]
+        return term.value  # type: ignore[union-attr]
+
+    def evaluate(self, substitution: dict[Variable, Any]) -> bool:
+        """Evaluate the comparison under a variable substitution."""
+        left = self._resolve(self.left, substitution)
+        right = self._resolve(self.right, substitution)
+        if self.op == "like":
+            return _like(left, right)
+        try:
+            return _OPERATORS[self.op](left, right)
+        except TypeError as exc:
+            raise EvaluationError(f"cannot compare {left!r} {self.op} {right!r}") from exc
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"

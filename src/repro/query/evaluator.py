@@ -1,0 +1,236 @@
+"""Evaluation of conjunctive queries and UCQs over a database, with lineage.
+
+The evaluator runs index-nested-loop joins over the deterministic instance
+``I_poss`` (the instance containing *all* possible tuples).  For every answer
+tuple it also returns the lineage: a monotone DNF over the Boolean variables
+of the probabilistic tuples used by each derivation.  Which tuples are
+probabilistic — and which Boolean variable they map to — is supplied through
+a :class:`LineageProvider`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Protocol, Sequence
+
+from repro.db.database import Database
+from repro.db.table import Row
+from repro.errors import EvaluationError
+from repro.lineage.dnf import DNF
+from repro.query.atoms import Atom, Comparison
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Variable, is_variable
+from repro.query.ucq import UCQ, as_ucq
+
+
+class LineageProvider(Protocol):
+    """Maps rows of probabilistic relations to Boolean tuple variables."""
+
+    def variable_for(self, relation: str, row: Row) -> int | None:
+        """Variable id of a probabilistic tuple, or ``None`` if deterministic."""
+
+
+class NoLineage:
+    """A provider that treats every relation as deterministic."""
+
+    def variable_for(self, relation: str, row: Row) -> int | None:
+        return None
+
+
+class QueryResult:
+    """Answers of a query together with their lineage.
+
+    The result maps each answer tuple to its :class:`~repro.lineage.dnf.DNF`
+    lineage.  For a Boolean query, the single (possibly absent) answer is the
+    empty tuple ``()``.
+    """
+
+    def __init__(self, head: Sequence[Variable]) -> None:
+        self.head = tuple(head)
+        self._answers: dict[tuple[Any, ...], set[frozenset[int]]] = {}
+
+    def add_derivation(self, answer: tuple[Any, ...], clause: frozenset[int]) -> None:
+        """Record one derivation (a clause of probabilistic tuple variables)."""
+        self._answers.setdefault(answer, set()).add(clause)
+
+    def answers(self) -> list[tuple[Any, ...]]:
+        """All answer tuples."""
+        return list(self._answers)
+
+    def lineage(self, answer: tuple[Any, ...] = ()) -> DNF:
+        """Lineage of one answer (``DNF.false()`` if the answer is absent)."""
+        clauses = self._answers.get(tuple(answer))
+        if clauses is None:
+            return DNF.false()
+        return DNF(clauses)
+
+    def lineages(self) -> dict[tuple[Any, ...], DNF]:
+        """Mapping from every answer tuple to its lineage."""
+        return {answer: DNF(clauses) for answer, clauses in self._answers.items()}
+
+    @property
+    def boolean_true(self) -> bool:
+        """For Boolean queries: whether the query has any derivation at all."""
+        return () in self._answers
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def __contains__(self, answer: Sequence[Any]) -> bool:
+        return tuple(answer) in self._answers
+
+    def merge(self, other: "QueryResult") -> None:
+        """Union the derivations of ``other`` into this result (same head)."""
+        for answer, clauses in other._answers.items():
+            self._answers.setdefault(answer, set()).update(clauses)
+
+
+def _order_atoms(query: ConjunctiveQuery, database: Database) -> list[Atom]:
+    """Greedy join order: start selective, then follow bound variables."""
+
+    def selectivity(atom: Atom, bound: set[Variable]) -> tuple[int, int]:
+        bound_terms = sum(
+            1 for term in atom.terms if not is_variable(term) or term in bound
+        )
+        size = len(database.table(atom.relation)) if atom.relation in database else 0
+        return (-bound_terms, size)
+
+    remaining = list(query.atoms)
+    ordered: list[Atom] = []
+    bound: set[Variable] = set()
+    while remaining:
+        remaining.sort(key=lambda atom: selectivity(atom, bound))
+        chosen = remaining.pop(0)
+        ordered.append(chosen)
+        bound.update(chosen.variables())
+    return ordered
+
+
+def _pending_comparisons(
+    comparisons: Sequence[Comparison], bound: set[Variable]
+) -> list[Comparison]:
+    return [c for c in comparisons if all(v in bound for v in c.variables())]
+
+
+def evaluate_cq(
+    query: ConjunctiveQuery,
+    database: Database,
+    lineage: LineageProvider | None = None,
+    result: QueryResult | None = None,
+) -> QueryResult:
+    """Evaluate a conjunctive query, returning answers with lineage."""
+    provider = lineage or NoLineage()
+    if result is None:
+        result = QueryResult(query.head)
+    ordered_atoms = _order_atoms(query, database)
+
+    # Pre-compute which comparisons become checkable after each join step.
+    checked: set[Comparison] = set()
+    comparison_schedule: list[list[Comparison]] = []
+    bound_so_far: set[Variable] = set()
+    for atom in ordered_atoms:
+        bound_so_far.update(atom.variables())
+        ready = [
+            c
+            for c in _pending_comparisons(query.comparisons, bound_so_far)
+            if c not in checked
+        ]
+        checked.update(ready)
+        comparison_schedule.append(ready)
+    unreachable = set(query.comparisons) - checked
+    if unreachable:
+        raise EvaluationError(
+            f"comparisons {sorted(map(repr, unreachable))} use variables never bound by atoms"
+        )
+
+    head = query.head
+
+    def recurse(depth: int, substitution: dict[Variable, Any], clause: set[int]) -> None:
+        if depth == len(ordered_atoms):
+            answer = tuple(substitution[v] for v in head)
+            result.add_derivation(answer, frozenset(clause))
+            return
+        atom = ordered_atoms[depth]
+        table = database.table(atom.relation)
+        bindings: dict[int, Any] = {}
+        for position, term in enumerate(atom.terms):
+            if is_variable(term):
+                if term in substitution:
+                    bindings[position] = substitution[term]
+            else:
+                bindings[position] = term.value  # type: ignore[union-attr]
+        for row in table.lookup(bindings):
+            new_substitution = dict(substitution)
+            consistent = True
+            for position, term in enumerate(atom.terms):
+                if is_variable(term):
+                    existing = new_substitution.get(term, row[position])
+                    if existing != row[position]:
+                        consistent = False
+                        break
+                    new_substitution[term] = row[position]
+            if not consistent:
+                continue
+            if not all(c.evaluate(new_substitution) for c in comparison_schedule[depth]):
+                continue
+            variable = provider.variable_for(atom.relation, row)
+            if variable is None:
+                recurse(depth + 1, new_substitution, clause)
+            else:
+                clause.add(variable)
+                recurse(depth + 1, new_substitution, clause)
+                clause.discard(variable)
+
+    recurse(0, {}, set())
+    return result
+
+
+def evaluate_ucq(
+    query: UCQ | ConjunctiveQuery,
+    database: Database,
+    lineage: LineageProvider | None = None,
+) -> QueryResult:
+    """Evaluate a UCQ (or a single CQ) with lineage.
+
+    The lineage of each answer is the disjunction of the lineages produced by
+    the individual disjuncts, as in the paper (Sect. 4: the lineage of a
+    disjunction is the disjunction of the lineages).
+    """
+    ucq = as_ucq(query)
+    result = QueryResult(ucq.head)
+    for disjunct in ucq.disjuncts:
+        evaluate_cq(disjunct, database, lineage, result)
+    return result
+
+
+def boolean_lineage(
+    query: UCQ | ConjunctiveQuery,
+    database: Database,
+    lineage: LineageProvider,
+) -> DNF:
+    """Lineage of a Boolean query (``DNF.false()`` when it has no derivations)."""
+    ucq = as_ucq(query)
+    if not ucq.is_boolean:
+        raise EvaluationError(f"query {ucq.name!r} is not Boolean; bind its head first")
+    return evaluate_ucq(ucq, database, lineage).lineage(())
+
+
+def answer_probabilities(
+    result: QueryResult,
+    probabilities: Mapping[int, float],
+    method: str = "shannon",
+) -> dict[tuple[Any, ...], float]:
+    """Marginal probability of each answer from its lineage.
+
+    ``method`` is ``"shannon"`` (exact, default) or ``"enumeration"``
+    (exact brute force; only for tiny lineages).
+    """
+    from repro.lineage.enumeration import brute_force_probability
+    from repro.lineage.shannon import shannon_probability
+
+    output: dict[tuple[Any, ...], float] = {}
+    for answer, formula in result.lineages().items():
+        if method == "enumeration":
+            output[answer] = brute_force_probability(formula, probabilities)
+        else:
+            output[answer] = shannon_probability(formula, probabilities)
+    return output

@@ -1,0 +1,178 @@
+"""A small datalog-style parser for conjunctive queries and UCQs.
+
+The syntax follows the paper's notation::
+
+    Q(aid) :- Student(aid, year), Advisor(aid, aid1), Author(aid1, n1),
+              n1 like '%Madden%'
+
+* relation atoms are ``Name(term, term, ...)``;
+* terms are variables (identifiers), quoted string constants, or numbers;
+* comparisons are ``term op term`` with ``op`` in ``= != <> < <= > >= like``;
+* a UCQ is written as several rules with the same head, separated by ``;``
+  or newlines, or passed as a list of rule strings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.errors import ParseError
+from repro.query.atoms import Atom, Comparison
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Constant, Variable
+from repro.query.ucq import UCQ
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        :-                                   # rule separator
+      | <=|>=|<>|!=|==|=|<|>                 # comparison operators
+      | [A-Za-z_][A-Za-z_0-9]*               # identifiers / keywords
+      | -?\d+\.\d+                           # floats
+      | -?\d+                                # integers
+      | '(?:[^'\\]|\\.)*'                    # single-quoted strings
+      | "(?:[^"\\]|\\.)*"                    # double-quoted strings
+      | [(),;]                               # punctuation
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected input at {remainder[:20]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+def _parse_term(token: str) -> Any:
+    if token.startswith(("'", '"')):
+        return Constant(token[1:-1])
+    if re.fullmatch(r"-?\d+", token):
+        return Constant(int(token))
+    if re.fullmatch(r"-?\d+\.\d+", token):
+        return Constant(float(token))
+    if token.isidentifier():
+        return Variable(token)
+    raise ParseError(f"cannot parse term {token!r}")
+
+
+class _RuleParser:
+    """Recursive-descent parser over a token list for a single rule."""
+
+    def __init__(self, tokens: list[str], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._pos = 0
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of rule in {self._text!r}")
+        self._pos += 1
+        return token
+
+    def _expect(self, expected: str) -> None:
+        token = self._next()
+        if token != expected:
+            raise ParseError(f"expected {expected!r} but found {token!r} in {self._text!r}")
+
+    def parse(self) -> tuple[str, ConjunctiveQuery]:
+        head_name, head_vars = self._parse_head()
+        self._expect(":-")
+        atoms: list[Atom] = []
+        comparisons: list[Comparison] = []
+        while True:
+            self._parse_body_item(atoms, comparisons)
+            token = self._peek()
+            if token == ",":
+                self._next()
+                continue
+            if token is None:
+                break
+            raise ParseError(f"unexpected token {token!r} in {self._text!r}")
+        cq = ConjunctiveQuery(head_vars, atoms, comparisons, name=head_name)
+        return head_name, cq
+
+    def _parse_head(self) -> tuple[str, list[Variable]]:
+        name = self._next()
+        if not name.isidentifier():
+            raise ParseError(f"invalid head predicate {name!r}")
+        head_vars: list[Variable] = []
+        if self._peek() == "(":
+            self._next()
+            if self._peek() != ")":
+                while True:
+                    term = _parse_term(self._next())
+                    if not isinstance(term, Variable):
+                        raise ParseError(f"head arguments must be variables, got {term!r}")
+                    head_vars.append(term)
+                    if self._peek() == ",":
+                        self._next()
+                        continue
+                    break
+            self._expect(")")
+        return name, head_vars
+
+    def _parse_body_item(self, atoms: list[Atom], comparisons: list[Comparison]) -> None:
+        first = self._next()
+        if self._peek() == "(" and first.isidentifier():
+            self._next()
+            terms: list[Any] = []
+            if self._peek() != ")":
+                while True:
+                    terms.append(_parse_term(self._next()))
+                    if self._peek() == ",":
+                        self._next()
+                        continue
+                    break
+            self._expect(")")
+            atoms.append(Atom(first, terms))
+            return
+        operator_token = self._next()
+        if operator_token.lower() == "like":
+            operator_token = "like"
+        right = self._next()
+        comparisons.append(Comparison(_parse_term(first), operator_token, _parse_term(right)))
+
+
+def parse_rule(text: str) -> ConjunctiveQuery:
+    """Parse a single datalog rule into a :class:`ConjunctiveQuery`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty rule")
+    __, cq = _RuleParser(tokens, text).parse()
+    return cq
+
+
+def parse_query(text: str | Iterable[str], name: str | None = None) -> UCQ:
+    """Parse one or more rules into a UCQ.
+
+    Rules may be given as a single string (separated by ``;`` or newlines)
+    or as an iterable of rule strings.  All rules must share the same head
+    predicate and head arity.
+    """
+    if isinstance(text, str):
+        pieces = [piece for piece in re.split(r"[;\n]", text) if piece.strip()]
+    else:
+        pieces = [piece for piece in text if piece.strip()]
+    if not pieces:
+        raise ParseError("no rules to parse")
+    disjuncts = [parse_rule(piece) for piece in pieces]
+    names = {cq.name for cq in disjuncts}
+    if len(names) != 1:
+        raise ParseError(f"all rules of a UCQ must share the same head predicate, got {names}")
+    return UCQ(disjuncts, name=name or disjuncts[0].name)

@@ -1,0 +1,59 @@
+"""Terms of the query language: variables and constants.
+
+Queries in the paper are written in datalog notation; an atom's argument is
+either a variable (``x``, ``aid1``) or a constant (``'Madden'``, ``2005``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value appearing in a query."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """True if ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """True if ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def make_term(value: Any) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings are treated as variable names when they are valid identifiers
+    starting with a lowercase letter or underscore *and* the caller passes a
+    plain string; to force a string constant, wrap it in :class:`Constant`.
+    This mirrors datalog conventions where lowercase identifiers denote
+    variables and quoted strings denote constants.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value.isidentifier():
+        return Variable(value)
+    return Constant(value)

@@ -1,0 +1,77 @@
+"""Tests for query structural analysis: root variables, separators, inversion-freeness."""
+
+from repro.obdd import find_separator, has_separator, is_inversion_free, root_variables
+from repro.query import Variable, parse_query, parse_rule
+
+
+class TestRootVariables:
+    def test_root_variable_in_all_atoms(self):
+        cq = parse_rule("Q :- R(x), S(x, y)")
+        assert root_variables(cq) == {Variable("x")}
+
+    def test_no_root_variable(self):
+        cq = parse_rule("Q :- R(x), S(y, z)")
+        assert root_variables(cq) == set()
+
+    def test_deterministic_atoms_ignored(self):
+        cq = parse_rule("Q :- R(x), D(y), S(x, z)")
+        assert root_variables(cq, probabilistic={"R", "S"}) == {Variable("x")}
+
+
+class TestSeparator:
+    def test_single_cq_separator(self):
+        query = parse_query("Q :- R(x), S(x, y)")
+        separator = find_separator(query)
+        assert separator == {0: Variable("x")}
+
+    def test_ucq_separator_consistent_positions(self):
+        # Example from Sect. 4.2: R(x1),S(x1,y1) ∨ T(x2),S(x2,y2): z is a separator.
+        query = parse_query("Q :- R(x1), S(x1, y1)\nQ :- T(x2), S(x2, y2)")
+        assert has_separator(query)
+
+    def test_no_separator_when_positions_conflict(self):
+        # R(x1),S(x1,y1) ∨ S(x2,y2),T(y2): the shared symbol S carries the root
+        # variable on different positions — the classic non-separator example.
+        query = parse_query("Q :- R(x1), S(x1, y1)\nQ :- S(x2, y2), T(y2)")
+        assert find_separator(query) is None
+
+    def test_separator_ignores_deterministic_relations(self):
+        query = parse_query("Q :- R(x), Det(y, x), S(x, z)")
+        assert has_separator(query, probabilistic={"R", "S"})
+
+
+class TestInversionFree:
+    def test_simple_hierarchical_query(self):
+        assert is_inversion_free(parse_query("Q :- R(x), S(x, y)"))
+
+    def test_union_with_separator(self):
+        assert is_inversion_free(parse_query("Q :- R(x), S(x, y)\nQ :- T(x), S(x, y)"))
+
+    def test_inversion_query_is_not_inversion_free(self):
+        query = parse_query("Q :- R(x), S(x, y)\nQ :- S(x, y), T(y)")
+        assert not is_inversion_free(query)
+
+    def test_independent_union(self):
+        assert is_inversion_free(parse_query("Q :- R(x)\nQ :- T(y), U(y, z)"))
+
+    def test_single_atom(self):
+        assert is_inversion_free(parse_query("Q :- R(x, y)"))
+
+    def test_deterministic_only_query(self):
+        assert is_inversion_free(parse_query("Q :- D(x)"), probabilistic=set())
+
+    def test_markoview_w1_has_separator(self):
+        """The translated W1 of Fig. 2: aid1 occurs in every probabilistic atom
+        at a consistent position, so it is a separator variable (Sect. 5.4:
+        "the MarkoViews have a separator")."""
+        w1 = parse_query(
+            "W :- NV1(aid1, aid2), Advisor(aid1, aid2), Student(aid1, year), "
+            "Wrote(aid1, pid), Wrote(aid2, pid), Pub(pid, title, year)"
+        )
+        assert has_separator(w1, probabilistic={"NV1", "Advisor", "Student"})
+
+    def test_denial_view_w2_is_inversion_free(self):
+        """W2 (the denial view) only involves Advisor twice sharing aid1: it has a
+        separator and is inversion-free, which is why Fig. 7 grows linearly."""
+        w2 = parse_query("W :- Advisor(aid1, aid2), Advisor(aid1, aid3), aid2 <> aid3")
+        assert has_separator(w2, probabilistic={"Advisor"})

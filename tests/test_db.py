@@ -1,0 +1,159 @@
+"""Unit tests for the relational substrate (schemas, tables, databases, CSV I/O)."""
+
+import pytest
+
+from repro.db import Attribute, Database, RelationSchema, Table, load_database, save_database
+from repro.errors import SchemaError, UnknownRelationError
+
+
+class TestRelationSchema:
+    def test_arity_and_names(self):
+        schema = RelationSchema("Author", ["aid", "name"])
+        assert schema.arity == 2
+        assert schema.attribute_names == ("aid", "name")
+
+    def test_default_key_is_all_attributes(self):
+        schema = RelationSchema("R", ["a", "b"])
+        assert schema.key == ("a", "b")
+
+    def test_explicit_key(self):
+        schema = RelationSchema("R", ["a", "b"], key=["a"])
+        assert schema.key_positions() == (0,)
+
+    def test_position_of_unknown_attribute_raises(self):
+        schema = RelationSchema("R", ["a"])
+        with pytest.raises(SchemaError):
+            schema.position_of("z")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_unknown_key_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"], key=["b"])
+
+    def test_validate_row_checks_arity(self):
+        schema = RelationSchema("R", ["a", "b"])
+        with pytest.raises(SchemaError):
+            schema.validate_row((1,))
+
+    def test_typed_attribute_validation(self):
+        attribute = Attribute("year", int)
+        attribute.validate(2005)
+        with pytest.raises(SchemaError):
+            attribute.validate("2005")
+
+
+class TestTable:
+    def test_insert_and_contains(self):
+        table = Table(RelationSchema("R", ["a", "b"]))
+        assert table.insert((1, 2)) is True
+        assert table.insert((1, 2)) is False
+        assert (1, 2) in table
+        assert len(table) == 1
+
+    def test_insert_wrong_arity_raises(self):
+        table = Table(RelationSchema("R", ["a", "b"]))
+        with pytest.raises(SchemaError):
+            table.insert((1,))
+
+    def test_delete(self):
+        table = Table(RelationSchema("R", ["a"]), rows=[(1,), (2,)])
+        assert table.delete((1,)) is True
+        assert table.delete((1,)) is False
+        assert len(table) == 1
+
+    def test_lookup_by_position(self):
+        table = Table(RelationSchema("S", ["a", "b"]), rows=[(1, 10), (1, 20), (2, 30)])
+        assert sorted(table.lookup({0: 1})) == [(1, 10), (1, 20)]
+        assert table.lookup({0: 1, 1: 20}) == [(1, 20)]
+        assert table.lookup({0: 9}) == []
+
+    def test_lookup_empty_bindings_returns_all(self):
+        table = Table(RelationSchema("S", ["a"]), rows=[(1,), (2,)])
+        assert sorted(table.lookup({})) == [(1,), (2,)]
+
+    def test_lookup_by_attributes(self):
+        table = Table(RelationSchema("S", ["a", "b"]), rows=[(1, 10), (2, 20)])
+        assert table.lookup_by_attributes(b=20) == [(2, 20)]
+
+    def test_index_maintained_after_insert_and_delete(self):
+        table = Table(RelationSchema("S", ["a", "b"]), rows=[(1, 10)])
+        assert table.lookup({0: 1}) == [(1, 10)]
+        table.insert((1, 99))
+        assert sorted(table.lookup({0: 1})) == [(1, 10), (1, 99)]
+        table.delete((1, 10))
+        assert table.lookup({0: 1}) == [(1, 99)]
+
+    def test_project_distinct(self):
+        table = Table(RelationSchema("S", ["a", "b"]), rows=[(1, 10), (1, 20)])
+        assert table.project(["a"]) == [(1,)]
+
+    def test_active_domain(self):
+        table = Table(RelationSchema("S", ["a", "b"]), rows=[(1, "x")])
+        assert table.active_domain() == {1, "x"}
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database()
+        db.create_table("R", ["a"], [(1,), (2,)])
+        assert len(db.table("R")) == 2
+        assert "R" in db
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("R", ["a"])
+        with pytest.raises(SchemaError):
+            db.create_table("R", ["a"])
+
+    def test_unknown_table_raises(self):
+        db = Database()
+        with pytest.raises(UnknownRelationError):
+            db.table("nope")
+
+    def test_drop_table(self):
+        db = Database()
+        db.create_table("R", ["a"])
+        db.drop_table("R")
+        assert "R" not in db
+        with pytest.raises(UnknownRelationError):
+            db.drop_table("R")
+
+    def test_size_report(self):
+        db = Database()
+        db.create_table("R", ["a"], [(1,)])
+        db.create_table("S", ["a"], [(1,), (2,)])
+        assert db.size_report() == {"R": 1, "S": 2}
+        assert db.total_rows() == 3
+
+    def test_copy_is_independent(self):
+        db = Database()
+        db.create_table("R", ["a"], [(1,)])
+        clone = db.copy()
+        clone.insert("R", (2,))
+        assert len(db.table("R")) == 1
+        assert len(clone.table("R")) == 2
+
+    def test_active_domain_union(self):
+        db = Database()
+        db.create_table("R", ["a"], [(1,)])
+        db.create_table("S", ["a"], [("x",)])
+        assert db.active_domain() == {1, "x"}
+        assert db.active_domain(["R"]) == {1}
+
+
+class TestCsvRoundTrip:
+    def test_save_and_load_database(self, tmp_path):
+        db = Database()
+        db.create_table("Author", ["aid", "name"], [(1, "Ada"), (2, "Alan")])
+        db.create_table("Pub", ["pid", "year"], [(7, 1999)])
+        save_database(db, tmp_path)
+        loaded = load_database(tmp_path)
+        assert sorted(loaded.rows("Author")) == [(1, "Ada"), (2, "Alan")]
+        assert loaded.rows("Pub") == [(7, 1999)]

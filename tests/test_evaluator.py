@@ -1,0 +1,177 @@
+"""Tests for CQ/UCQ evaluation with lineage extraction over a database."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import EvaluationError
+from repro.indb import TupleIndependentDatabase, probability_to_weight
+from repro.lineage import DNF, shannon_probability
+from repro.query import (
+    answer_probabilities,
+    boolean_lineage,
+    evaluate_ucq,
+    parse_query,
+    parse_rule,
+)
+
+
+@pytest.fixture
+def figure3_indb():
+    """The example of Fig. 3: R = {a1, a2}, S = {(a1,b1),(a1,b2),(a2,b3),(a2,b4)}."""
+    indb = TupleIndependentDatabase()
+    indb.add_probabilistic_table(
+        "R", ["a"], [((f"a{i}",), probability_to_weight(0.5)) for i in (1, 2)]
+    )
+    indb.add_probabilistic_table(
+        "S",
+        ["a", "b"],
+        [
+            (("a1", "b1"), probability_to_weight(0.3)),
+            (("a1", "b2"), probability_to_weight(0.4)),
+            (("a2", "b3"), probability_to_weight(0.5)),
+            (("a2", "b4"), probability_to_weight(0.6)),
+        ],
+    )
+    return indb
+
+
+class TestDeterministicEvaluation:
+    def test_join(self):
+        db = Database()
+        db.create_table("R", ["a"], [(1,), (2,)])
+        db.create_table("S", ["a", "b"], [(1, 10), (2, 20), (3, 30)])
+        result = evaluate_ucq(parse_query("Q(x, y) :- R(x), S(x, y)"), db)
+        assert sorted(result.answers()) == [(1, 10), (2, 20)]
+
+    def test_comparison_filters(self):
+        db = Database()
+        db.create_table("S", ["a", "b"], [(1, 10), (2, 20)])
+        result = evaluate_ucq(parse_query("Q(x) :- S(x, y), y > 15"), db)
+        assert result.answers() == [(2,)]
+
+    def test_like_filter(self):
+        db = Database()
+        db.create_table("Author", ["aid", "name"], [(1, "Sam Madden"), (2, "Dan Suciu")])
+        result = evaluate_ucq(parse_query("Q(a) :- Author(a, n), n like '%Madden%'"), db)
+        assert result.answers() == [(1,)]
+
+    def test_boolean_query_true_and_false(self):
+        db = Database()
+        db.create_table("R", ["a"], [(1,)])
+        assert evaluate_ucq(parse_query("Q :- R(x)"), db).boolean_true
+        db2 = Database()
+        db2.create_table("R", ["a"])
+        assert not evaluate_ucq(parse_query("Q :- R(x)"), db2).boolean_true
+
+    def test_repeated_variable_join(self):
+        db = Database()
+        db.create_table("E", ["a", "b"], [(1, 1), (1, 2)])
+        result = evaluate_ucq(parse_query("Q(x) :- E(x, x)"), db)
+        assert result.answers() == [(1,)]
+
+    def test_constant_in_atom(self):
+        db = Database()
+        db.create_table("E", ["a", "b"], [(1, 7), (2, 8)])
+        result = evaluate_ucq(parse_query("Q(x) :- E(x, 7)"), db)
+        assert result.answers() == [(1,)]
+
+    def test_ucq_union_of_answers(self):
+        db = Database()
+        db.create_table("R", ["a"], [(1,)])
+        db.create_table("S", ["a"], [(2,)])
+        result = evaluate_ucq(parse_query("Q(x) :- R(x)\nQ(x) :- S(x)"), db)
+        assert sorted(result.answers()) == [(1,), (2,)]
+
+    def test_unbound_comparison_variable_raises(self):
+        db = Database()
+        db.create_table("R", ["a"], [(1,)])
+        # 'y' never bound: the CQ constructor already rejects it.
+        with pytest.raises(Exception):
+            parse_rule("Q(x) :- R(x), y < 3")
+
+    def test_deterministic_lineage_is_true(self):
+        db = Database()
+        db.create_table("R", ["a"], [(1,)])
+        result = evaluate_ucq(parse_query("Q(x) :- R(x)"), db)
+        assert result.lineage((1,)).is_true
+
+
+class TestLineageExtraction:
+    def test_figure3_lineage(self, figure3_indb):
+        """Lineage of Q :- R(x), S(x,y) must be X1Y1 ∨ X1Y2 ∨ X2Y3 ∨ X2Y4."""
+        query = parse_query("Q :- R(x), S(x, y)")
+        lineage = boolean_lineage(query, figure3_indb.database, figure3_indb)
+        assert len(lineage) == 4
+        assert all(len(clause) == 2 for clause in lineage)
+        x1 = figure3_indb.variable_for("R", ("a1",))
+        y1 = figure3_indb.variable_for("S", ("a1", "b1"))
+        assert frozenset({x1, y1}) in lineage.clauses
+
+    def test_lineage_probability_matches_closed_form(self, figure3_indb):
+        query = parse_query("Q :- R(x), S(x, y)")
+        probability = figure3_indb.query_probability(query)
+        # P = 1 - (1 - 0.5(1-(1-.3)(1-.4))) (1 - 0.5(1-(1-.5)(1-.6)))
+        p_a1 = 0.5 * (1 - 0.7 * 0.6)
+        p_a2 = 0.5 * (1 - 0.5 * 0.4)
+        assert probability == pytest.approx(1 - (1 - p_a1) * (1 - p_a2))
+
+    def test_non_boolean_answers_probability(self, figure3_indb):
+        query = parse_query("Q(x) :- R(x), S(x, y)")
+        answers = figure3_indb.query_answers(query)
+        assert answers[("a1",)] == pytest.approx(0.5 * (1 - 0.7 * 0.6))
+        assert answers[("a2",)] == pytest.approx(0.5 * (1 - 0.5 * 0.4))
+
+    def test_missing_answer_lineage_is_false(self, figure3_indb):
+        query = parse_query("Q(x) :- R(x), S(x, y)")
+        result = evaluate_ucq(query, figure3_indb.database, figure3_indb)
+        assert result.lineage(("zz",)).is_false
+
+    def test_certain_tuples_do_not_appear_in_lineage(self):
+        indb = TupleIndependentDatabase()
+        indb.add_probabilistic_table("R", ["a"], [((1,), float("inf"))])
+        indb.add_probabilistic_table("S", ["a"], [((1,), 1.0)])
+        lineage = indb.lineage_of(parse_query("Q :- R(x), S(x)"))
+        assert len(lineage.variables()) == 1
+
+    def test_answer_probabilities_helper(self, figure3_indb):
+        query = parse_query("Q(x) :- R(x), S(x, y)")
+        result = evaluate_ucq(query, figure3_indb.database, figure3_indb)
+        probs = answer_probabilities(result, figure3_indb.probabilities())
+        enumerated = answer_probabilities(
+            result, figure3_indb.probabilities(), method="enumeration"
+        )
+        for answer, value in probs.items():
+            assert value == pytest.approx(enumerated[answer])
+
+
+class TestPossibleWorlds:
+    def test_world_count_and_total_probability(self):
+        indb = TupleIndependentDatabase()
+        indb.add_probabilistic_table("R", ["a"], [((1,), 1.0), ((2,), 3.0)])
+        worlds = list(indb.possible_worlds())
+        assert len(worlds) == 4
+        assert sum(weight for __, weight in worlds) == pytest.approx(1.0)
+
+    def test_world_database_materialisation(self):
+        indb = TupleIndependentDatabase()
+        indb.add_deterministic_table("D", ["a"], [(9,)])
+        indb.add_probabilistic_table("R", ["a"], [((1,), 1.0)])
+        var = indb.variable_for("R", (1,))
+        with_tuple = indb.world_database({var: True})
+        without_tuple = indb.world_database({var: False})
+        assert (1,) in with_tuple.table("R")
+        assert (1,) not in without_tuple.table("R")
+        assert (9,) in with_tuple.table("D")
+
+    def test_query_probability_matches_world_semantics(self):
+        indb = TupleIndependentDatabase()
+        indb.add_probabilistic_table("R", ["a"], [((1,), 1.0)])
+        indb.add_probabilistic_table("S", ["a", "b"], [((1, 2), 2.0)])
+        query = parse_query("Q :- R(x), S(x, y)")
+        by_lineage = indb.query_probability(query)
+        total = 0.0
+        for assignment, weight in indb.possible_worlds():
+            world = indb.world_database(assignment)
+            if evaluate_ucq(query, world).boolean_true:
+                total += weight
+        assert by_lineage == pytest.approx(total)

@@ -1,0 +1,118 @@
+"""Smoke tests for the experiment harness and runners (tiny scales).
+
+The benchmarks exercise the experiments at their intended scale; these tests
+run them at the smallest sensible scale so that regressions in the runners
+(not just in the underlying library) are caught by ``pytest tests/``.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    FullDatasetSettings,
+    SweepSettings,
+    base_dataset,
+    fig1_dataset_inventory,
+    fig10_students_of_advisor,
+    fig11_affiliation_of_author,
+    fig4_lineage_size,
+    fig5_advisor_of_student,
+    fig7_fig8_obdd_construction,
+    fig9_intersection,
+    full_workload,
+    report,
+    scalability_index_build,
+    sweep_aid_values,
+    time_call,
+)
+
+TINY_SWEEP = SweepSettings(
+    group_count=5,
+    points=2,
+    mcsat_samples=4,
+    mcsat_burn_in=1,
+    mcsat_max_flips=80,
+    alchemy_cutoff=1,
+)
+TINY_FULL = FullDatasetSettings(group_count=5, query_count=3)
+
+
+class TestHarness:
+    def test_time_call_returns_result(self):
+        seconds, value = time_call(lambda: 21 * 2)
+        assert value == 42
+        assert seconds >= 0.0
+
+    def test_experiment_result_table(self):
+        result = ExperimentResult("demo", "a demo table", columns=["x", "y"])
+        result.add_row(x=1, y=0.5)
+        result.add_row(x=2, y=0.25)
+        text = result.to_text()
+        assert "demo" in text and "0.250000" in text
+        assert result.column("x") == [1, 2]
+
+    def test_write_csv_and_report(self, tmp_path):
+        result = ExperimentResult("demo", "a demo table", columns=["x"])
+        result.add_row(x=3)
+        text = report([result], tmp_path)
+        assert "demo" in text
+        assert (tmp_path / "demo.csv").read_text().splitlines() == ["x", "3"]
+
+
+class TestSweepRunners:
+    def test_sweep_aid_values_monotone(self):
+        data = base_dataset(TINY_SWEEP)
+        values = sweep_aid_values(data, 3)
+        assert values == sorted(values)
+        assert len(values) == 3
+
+    def test_fig4(self):
+        result = fig4_lineage_size(TINY_SWEEP)
+        assert len(result.rows) == TINY_SWEEP.points
+        assert all(row["lineage_size"] > 0 for row in result.rows)
+
+    def test_fig5_runs_all_methods(self):
+        result = fig5_advisor_of_student(TINY_SWEEP)
+        first, last = result.rows[0], result.rows[-1]
+        assert first["alchemy_total_s"] > 0
+        assert math.isnan(last["alchemy_total_s"])  # beyond the Alchemy cutoff
+        assert all(row["mvindex_s"] > 0 for row in result.rows)
+
+    def test_fig7_fig8(self):
+        sizes, times = fig7_fig8_obdd_construction(TINY_SWEEP)
+        assert sizes.column("obdd_size")[-1] >= sizes.column("obdd_size")[0]
+        assert all(steps == 0 for steps in times.column("concat_apply_steps"))
+
+    def test_fig9(self):
+        result = fig9_intersection(TINY_SWEEP, repeats=1)
+        assert all(row["mvintersect_s"] > 0 for row in result.rows)
+        assert all(row["cc_mvintersect_s"] > 0 for row in result.rows)
+
+
+class TestFullDatasetRunners:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return full_workload(TINY_FULL)
+
+    def test_fig1(self, workload):
+        result = fig1_dataset_inventory(TINY_FULL)
+        relations = set(result.column("relation"))
+        assert {"Author", "Student", "Advisor", "V1", "V2", "V3"} <= relations
+
+    def test_fig10_and_fig11(self, workload):
+        from repro.core import MVQueryEngine
+
+        engine = MVQueryEngine(workload.mvdb)
+        fig10 = fig10_students_of_advisor(TINY_FULL, workload, engine)
+        fig11 = fig11_affiliation_of_author(TINY_FULL, workload, engine)
+        assert len(fig10.rows) == TINY_FULL.query_count
+        assert len(fig11.rows) == TINY_FULL.query_count
+        assert all(row["seconds"] >= 0 for row in fig10.rows + fig11.rows)
+
+    def test_scalability(self, workload):
+        result = scalability_index_build(TINY_FULL, workload)
+        row = result.rows[0]
+        assert row["index_nodes"] > 0
+        assert row["index_components"] >= 1

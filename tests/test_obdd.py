@@ -1,0 +1,261 @@
+"""Tests for the OBDD manager, variable orders, and ConOBDD construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompilationError
+from repro.indb import TupleIndependentDatabase, probability_to_weight
+from repro.lineage import DNF, brute_force_probability
+from repro.obdd import (
+    ONE,
+    ObddManager,
+    VariableOrder,
+    ZERO,
+    build_obdd,
+    clause_obdd,
+    connected_components,
+    dump_dot,
+    iter_paths,
+    natural_order,
+    order_from_permutations,
+)
+
+
+class TestManager:
+    def test_terminals(self):
+        manager = ObddManager()
+        assert manager.is_terminal(ZERO)
+        assert manager.is_terminal(ONE)
+
+    def test_reduction_low_equals_high(self):
+        manager = ObddManager()
+        assert manager.make_node(0, ONE, ONE) == ONE
+
+    def test_unique_table_shares_nodes(self):
+        manager = ObddManager()
+        a = manager.make_node(0, ZERO, ONE)
+        b = manager.make_node(0, ZERO, ONE)
+        assert a == b
+
+    def test_ordering_enforced(self):
+        manager = ObddManager()
+        deep = manager.make_node(1, ZERO, ONE)
+        with pytest.raises(CompilationError):
+            manager.make_node(2, deep, ONE)
+
+    def test_apply_or_and(self):
+        manager = ObddManager()
+        x = manager.variable(0)
+        y = manager.variable(1)
+        both = manager.apply_and(x, y)
+        either = manager.apply_or(x, y)
+        assert manager.evaluate(both, {0: True, 1: True})
+        assert not manager.evaluate(both, {0: True, 1: False})
+        assert manager.evaluate(either, {0: False, 1: True})
+        assert not manager.evaluate(either, {0: False, 1: False})
+
+    def test_negate_is_involution(self):
+        manager = ObddManager()
+        x = manager.variable(0)
+        y = manager.variable(1)
+        f = manager.apply_or(x, y)
+        assert manager.negate(manager.negate(f)) == f
+        assert manager.evaluate(manager.negate(f), {0: False, 1: False})
+
+    def test_restrict(self):
+        manager = ObddManager()
+        x = manager.variable(0)
+        y = manager.variable(1)
+        f = manager.apply_and(x, y)
+        assert manager.restrict(f, 0, True) == y
+        assert manager.restrict(f, 0, False) == ZERO
+
+    def test_probability_shannon(self):
+        manager = ObddManager()
+        x = manager.variable(0)
+        y = manager.variable(1)
+        f = manager.apply_or(x, y)
+        probability = manager.probability(f, {0: 0.5, 1: 0.5})
+        assert probability == pytest.approx(0.75)
+
+    def test_probability_with_negative_values(self):
+        manager = ObddManager()
+        x = manager.variable(0)
+        y = manager.variable(1)
+        f = manager.apply_and(x, y)
+        assert manager.probability(f, {0: -0.5, 1: 0.4}) == pytest.approx(-0.2)
+
+    def test_substitute_terminal_concatenation(self):
+        manager = ObddManager()
+        first = clause_obdd(manager, [0, 1])
+        second = clause_obdd(manager, [2, 3])
+        concatenated = manager.apply_or(first, second)
+        by_substitution = manager.substitute_terminal(first, ZERO, second)
+        assert concatenated == by_substitution
+
+    def test_size_and_width(self):
+        manager = ObddManager()
+        f = clause_obdd(manager, [0, 1, 2])
+        assert manager.size(f) == 3
+        assert manager.width(f) == 1
+
+    def test_dump_dot_and_paths(self):
+        manager = ObddManager()
+        f = clause_obdd(manager, [0, 1])
+        dot = dump_dot(manager, f)
+        assert "digraph" in dot
+        terminals = {terminal for __, terminal in iter_paths(manager, f)}
+        assert terminals == {ZERO, ONE}
+
+
+class TestVariableOrder:
+    def test_level_roundtrip(self):
+        order = VariableOrder([10, 5, 7])
+        assert order.level_of(10) == 0
+        assert order.variable_at(2) == 7
+        assert len(order) == 3
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(CompilationError):
+            VariableOrder([1, 1])
+
+    def test_unknown_variable_raises(self):
+        order = VariableOrder([1])
+        with pytest.raises(CompilationError):
+            order.level_of(9)
+
+    def test_extend_appends_new_variables(self):
+        order = VariableOrder([1, 2]).extend([2, 3])
+        assert order.level_of(3) == 2
+
+    def test_natural_order(self):
+        order = natural_order([5, 1, 3])
+        assert order.variables() == [1, 3, 5]
+
+    def test_order_from_permutations_matches_figure3(self):
+        """Schema R(A), S(A,B) with π_R=(A), π_S=(A,B) gives X1,Y1,Y2,X2,Y3,Y4."""
+        indb = TupleIndependentDatabase()
+        indb.add_probabilistic_table("R", ["a"], [(("a1",), 1.0), (("a2",), 1.0)])
+        indb.add_probabilistic_table(
+            "S",
+            ["a", "b"],
+            [
+                (("a1", "b1"), 1.0),
+                (("a1", "b2"), 1.0),
+                (("a2", "b3"), 1.0),
+                (("a2", "b4"), 1.0),
+            ],
+        )
+        order = order_from_permutations(indb)
+        ordered_tuples = [indb.tuple_of(v) for v in order.variables()]
+        assert ordered_tuples == [
+            ("R", ("a1",)),
+            ("S", ("a1", "b1")),
+            ("S", ("a1", "b2")),
+            ("R", ("a2",)),
+            ("S", ("a2", "b3")),
+            ("S", ("a2", "b4")),
+        ]
+
+    def test_order_from_permutations_custom_permutation(self):
+        indb = TupleIndependentDatabase()
+        indb.add_probabilistic_table("S", ["a", "b"], [((1, 9), 1.0), ((2, 3), 1.0)])
+        order = order_from_permutations(indb, permutations={"S": ["b", "a"]})
+        first = indb.tuple_of(order.variable_at(0))
+        assert first == ("S", (2, 3))
+
+
+class TestConstruction:
+    def test_connected_components(self):
+        components = connected_components(DNF([[1, 2], [2, 3], [4]]).clauses)
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [1, 2]
+
+    def test_concat_and_synthesis_agree(self):
+        formula = DNF([[1, 2], [1, 3], [4, 5], [6]])
+        order = natural_order(formula.variables())
+        concat = build_obdd(formula, order, method="concat")
+        synthesis = build_obdd(formula, order, method="synthesis")
+        probabilities = {v: 0.3 + 0.05 * v for v in formula.variables()}
+        assert concat.probability(probabilities) == pytest.approx(
+            synthesis.probability(probabilities)
+        )
+        assert concat.size == synthesis.size
+
+    def test_concat_uses_fewer_apply_steps(self):
+        formula = DNF([[2 * i, 2 * i + 1] for i in range(50)])
+        order = natural_order(formula.variables())
+        concat = build_obdd(formula, order, method="concat")
+        synthesis = build_obdd(formula, order, method="synthesis")
+        assert concat.manager.apply_steps < synthesis.manager.apply_steps
+
+    def test_inversion_free_obdd_width_is_constant(self):
+        """Independent clauses along the order give width 1 (Proposition 2)."""
+        formula = DNF([[3 * i, 3 * i + 1, 3 * i + 2] for i in range(20)])
+        order = natural_order(formula.variables())
+        compiled = build_obdd(formula, order, method="concat")
+        assert compiled.width <= 2
+        assert compiled.size <= 3 * 20 + 2
+
+    def test_probability_matches_brute_force(self):
+        formula = DNF([[1, 2], [2, 3], [4]])
+        order = natural_order(formula.variables())
+        compiled = build_obdd(formula, order, method="concat")
+        probabilities = {1: 0.2, 2: 0.7, 3: 0.4, 4: -0.3}
+        assert compiled.probability(probabilities) == pytest.approx(
+            brute_force_probability(formula, probabilities)
+        )
+
+    def test_true_and_false_formulas(self):
+        order = natural_order([])
+        assert build_obdd(DNF.true(), order).root == ONE
+        assert build_obdd(DNF.false(), order).root == ZERO
+
+    def test_missing_variable_in_order_raises(self):
+        with pytest.raises(CompilationError):
+            build_obdd(DNF([[1]]), natural_order([2]))
+
+    def test_negate_compiled(self):
+        formula = DNF([[1], [2]])
+        order = natural_order([1, 2])
+        compiled = build_obdd(formula, order)
+        negated = compiled.negate()
+        probabilities = {1: 0.5, 2: 0.25}
+        assert negated.probability(probabilities) == pytest.approx(
+            1 - compiled.probability(probabilities)
+        )
+
+
+@st.composite
+def random_dnf_and_order(draw):
+    n_vars = draw(st.integers(min_value=1, max_value=8))
+    n_clauses = draw(st.integers(min_value=1, max_value=6))
+    clauses = [
+        draw(st.sets(st.integers(min_value=0, max_value=n_vars - 1), min_size=1, max_size=3))
+        for __ in range(n_clauses)
+    ]
+    permutation = draw(st.permutations(list(range(n_vars))))
+    probabilities = {
+        v: draw(st.floats(min_value=-0.5, max_value=1.0, allow_nan=False)) for v in range(n_vars)
+    }
+    return DNF(clauses), VariableOrder(permutation), probabilities
+
+
+class TestObddAgainstEnumeration:
+    @given(random_dnf_and_order())
+    @settings(max_examples=100, deadline=None)
+    def test_obdd_probability_equals_enumeration(self, case):
+        formula, order, probabilities = case
+        compiled = build_obdd(formula, order, method="concat")
+        expected = brute_force_probability(formula, probabilities)
+        assert compiled.probability(probabilities) == pytest.approx(expected, abs=1e-9)
+
+    @given(random_dnf_and_order())
+    @settings(max_examples=60, deadline=None)
+    def test_methods_build_identical_obdds(self, case):
+        formula, order, __ = case
+        manager = ObddManager()
+        concat_root = build_obdd(formula, order, manager=manager, method="concat").root
+        synthesis_root = build_obdd(formula, order, manager=manager, method="synthesis").root
+        assert concat_root == synthesis_root
