@@ -1,0 +1,22 @@
+# Development targets. Everything runs from the repository root with the
+# in-tree sources on PYTHONPATH; no installation required.
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test bench docs-check all
+
+## Tier-1 test suite (fast; what CI gates on).
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+## Figure-regeneration benchmarks (laptop scale, writes benchmarks/results/).
+bench:
+	$(PYTHON) -m pytest -q benchmarks
+
+## Documentation checks: every python block in README.md must run, and the
+## documented modules must render under pydoc.
+docs-check:
+	$(PYTHON) scripts/check_readme.py README.md
+
+all: test bench docs-check

@@ -1,0 +1,104 @@
+"""docs-check: run every ``python`` code block of a markdown file.
+
+Extracts fenced ```python blocks from the given markdown files (default:
+``README.md``) and executes each one in a fresh subprocess with ``src`` on
+``PYTHONPATH``.  A block that exits non-zero fails the check, so the README
+can never drift from the library's actual API.  Shell blocks (```bash) are
+not executed.
+
+Also render-checks the docstring surface: ``python -m pydoc`` must be able
+to render every module listed in ``PYDOC_MODULES`` without error.
+
+Usage::
+
+    python scripts/check_readme.py [README.md docs/foo.md ...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Modules whose pydoc rendering is part of the documentation contract.
+PYDOC_MODULES = [
+    "repro.serving",
+    "repro.serving.artifact",
+    "repro.serving.canonical",
+    "repro.serving.session",
+    "repro.mvindex.augmented",
+    "repro.obdd.manager",
+    "repro.core.engine",
+]
+
+_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(markdown: str) -> list[str]:
+    """The contents of every fenced ```python block, in order."""
+    return [match.group(1) for match in _BLOCK_RE.finditer(markdown)]
+
+
+def run_block(source: str, label: str, env: dict[str, str]) -> bool:
+    """Execute one block in a subprocess; report and return success."""
+    completed = subprocess.run(
+        [sys.executable, "-c", source],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    if completed.returncode != 0:
+        print(f"FAIL {label}")
+        sys.stdout.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        return False
+    print(f"ok   {label}")
+    return True
+
+
+def check_pydoc(env: dict[str, str]) -> bool:
+    """Render every contract module with pydoc; any error fails the check."""
+    ok = True
+    for module in PYDOC_MODULES:
+        completed = subprocess.run(
+            [sys.executable, "-m", "pydoc", module],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        rendered = completed.returncode == 0 and module.rsplit(".", 1)[-1] in completed.stdout
+        print(f"{'ok  ' if rendered else 'FAIL'} pydoc {module}")
+        ok = ok and rendered
+    return ok
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(name) for name in argv] or [REPO_ROOT / "README.md"]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    ok = True
+    for path in files:
+        blocks = python_blocks(path.read_text(encoding="utf-8"))
+        if not blocks:
+            print(f"warn {path}: no python blocks found")
+        for index, block in enumerate(blocks, start=1):
+            ok = run_block(block, f"{path}#python-block-{index}", env) and ok
+    ok = check_pydoc(env) and ok
+    if not ok:
+        print("docs-check failed", file=sys.stderr)
+        return 1
+    print("docs-check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

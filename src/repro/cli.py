@@ -1,13 +1,24 @@
-"""Command-line interface: regenerate the paper's experiments from a shell.
+"""Command-line interface: experiments plus the index-serving workflow.
 
-Examples
---------
-::
+Two families of commands share the ``repro`` entry point:
 
-    python -m repro list
-    python -m repro fig4 --groups 14 --points 4
-    python -m repro fig10 --groups 24 --out results/
-    python -m repro all --groups 12 --points 3 --out results/
+* **experiment runners** regenerate the paper's figures::
+
+      python -m repro list
+      python -m repro fig4 --groups 14 --points 4
+      python -m repro fig10 --groups 24 --out results/
+      python -m repro all --groups 12 --points 3 --out results/
+
+* **serving commands** exercise the offline/online split across processes:
+  compile the DBLP workload's MV-index once and save it (``save-index``),
+  cold-start an engine from the artifact and answer a query
+  (``load-index``), or serve a whole batch with the cache-aware session
+  (``serve-batch``)::
+
+      python -m repro save-index --groups 8 --out dblp-index.json.gz
+      python -m repro load-index dblp-index.json.gz \\
+          --query "Q(aid) :- Student(aid, y), Advisor(aid, a), Author(a, n), n like '%Advisor 0%'"
+      python -m repro serve-batch dblp-index.json.gz --count 10 --repeat 2
 """
 
 from __future__ import annotations
@@ -29,7 +40,11 @@ from repro.experiments import (
     fig9_intersection,
     report,
     scalability_index_build,
+    serving_cold_warm,
 )
+
+#: Sub-commands handled by the serving parser rather than the experiment one.
+SERVING_COMMANDS = ("save-index", "load-index", "serve-batch")
 
 
 def _sweep(args: argparse.Namespace) -> SweepSettings:
@@ -52,6 +67,7 @@ def _runners() -> dict[str, Callable[[argparse.Namespace], list]]:
         "fig10": lambda args: [fig10_students_of_advisor(_full(args))],
         "fig11": lambda args: [fig11_affiliation_of_author(_full(args))],
         "scalability": lambda args: [scalability_index_build(_full(args))],
+        "serving": lambda args: [serving_cold_warm(_full(args))],
     }
 
 
@@ -60,7 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the experiments of 'Probabilistic Databases with MarkoViews'.",
     )
-    parser.add_argument("experiment", help="experiment id (fig1..fig11, scalability, all, list)")
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig1..fig11, scalability, serving, all, list)",
+    )
     parser.add_argument("--groups", type=int, default=14, help="synthetic DBLP research groups")
     parser.add_argument("--points", type=int, default=4, help="sweep points for fig4-fig9")
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
@@ -68,11 +87,164 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ------------------------------------------------------------------- serving
+def build_serving_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Persist and serve the compiled MV-index across processes.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    save = commands.add_parser(
+        "save-index",
+        help="build the DBLP workload, compile its MV-index, and save the artifact",
+    )
+    save.add_argument("--groups", type=int, default=8, help="synthetic DBLP research groups")
+    save.add_argument("--seed", type=int, default=0, help="generator seed")
+    save.add_argument(
+        "--views", default="V1,V2,V3", help="comma-separated MarkoViews to attach"
+    )
+    save.add_argument(
+        "--out", required=True, help="artifact path (.json, or .json.gz for compression)"
+    )
+
+    load = commands.add_parser(
+        "load-index",
+        help="cold-start an engine from a saved artifact and optionally answer a query",
+    )
+    load.add_argument("artifact", help="artifact written by save-index")
+    load.add_argument("--query", default=None, help="datalog query to answer (optional)")
+    load.add_argument("--method", default="mvindex", help="evaluation method")
+
+    batch = commands.add_parser(
+        "serve-batch",
+        help="serve a query batch from a saved artifact via the caching session",
+    )
+    batch.add_argument("artifact", help="artifact written by save-index")
+    batch.add_argument(
+        "--queries", default=None, help="file with one datalog query per line (# comments)"
+    )
+    batch.add_argument(
+        "--count", type=int, default=10, help="number of built-in workload queries otherwise"
+    )
+    batch.add_argument("--method", default="mvindex", help="evaluation method")
+    batch.add_argument("--workers", type=int, default=None, help="thread-pool size (optional)")
+    batch.add_argument("--repeat", type=int, default=2, help="rounds (first cold, rest warm)")
+    return parser
+
+
+def _cmd_save_index(args: argparse.Namespace) -> int:
+    from repro.core import MVQueryEngine
+    from repro.dblp.config import DblpConfig
+    from repro.dblp.workload import build_mvdb
+    from repro.experiments.harness import time_call
+    from repro.serving import save_engine
+
+    views = tuple(name.strip() for name in args.views.split(",") if name.strip())
+    workload = build_mvdb(DblpConfig(group_count=args.groups, seed=args.seed), include_views=views)
+    build_seconds, engine = time_call(lambda: MVQueryEngine(workload.mvdb))
+    path = save_engine(engine, args.out)
+    index = engine.mv_index
+    print(f"offline build: {build_seconds:.3f}s")
+    print(f"possible tuples: {engine.indb.tuple_count()}")
+    print(f"W lineage: {engine.w_lineage_size} clauses")
+    if index is not None:
+        print(f"MV-index: {index.component_count()} components, {index.size} nodes")
+    print(f"artifact: {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_load_index(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import time_call
+    from repro.query.parser import parse_query
+    from repro.serving import load_engine
+
+    load_seconds, engine = time_call(lambda: load_engine(args.artifact))
+    index = engine.mv_index
+    print(f"cold start from artifact: {load_seconds:.3f}s")
+    print(f"possible tuples: {engine.indb.tuple_count()}")
+    print(f"W lineage: {engine.w_lineage_size} clauses")
+    if index is not None:
+        print(f"MV-index: {index.component_count()} components, {index.size} nodes")
+    if args.query:
+        query = parse_query(args.query)
+        seconds, answers = time_call(lambda: engine.query(query, method=args.method))
+        print(f"query answered in {seconds * 1000:.2f}ms via {args.method!r}:")
+        for answer, probability in sorted(answers.items(), key=lambda item: repr(item[0])):
+            print(f"  {answer} -> {probability:.6f}")
+        if not answers:
+            print("  (no answers with a derivation)")
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.dblp.workload import students_of_advisor
+    from repro.experiments.harness import time_call
+    from repro.query.parser import parse_query
+    from repro.serving import QuerySession, load_engine
+
+    engine = load_engine(args.artifact)
+    if args.queries:
+        lines = Path(args.queries).read_text().splitlines()
+        queries = [
+            parse_query(line) for line in lines if line.strip() and not line.lstrip().startswith("#")
+        ]
+    else:
+        queries = [students_of_advisor(f"Advisor {index}") for index in range(args.count)]
+    if not queries:
+        print("no queries to serve", file=sys.stderr)
+        return 2
+    session = QuerySession(engine)
+    for round_index in range(max(1, args.repeat)):
+        seconds, results = time_call(
+            lambda: session.query_batch(queries, method=args.method, workers=args.workers)
+        )
+        label = "cold" if round_index == 0 else "warm"
+        answers = sum(len(result) for result in results)
+        print(
+            f"round {round_index + 1} ({label}): {len(queries)} queries, "
+            f"{answers} answers, {seconds * 1000:.2f}ms"
+        )
+    info = session.cache_info()
+    print(
+        f"cache: {info['result_hits']} hits / {info['result_misses']} misses, "
+        f"{info['relational_passes']} relational pass(es), "
+        f"{info['evaluated_disjuncts']} distinct disjuncts evaluated"
+    )
+    return 0
+
+
+def _serving_main(argv: list[str]) -> int:
+    from repro.errors import ReproError
+
+    args = build_serving_parser().parse_args(argv)
+    handlers = {
+        "save-index": _cmd_save_index,
+        "load-index": _cmd_load_index,
+        "serve-batch": _cmd_serve_batch,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError) as exc:
+        # Library failures (missing/corrupt artifact, query parse errors,
+        # inference errors) and filesystem problems (unreadable query file,
+        # unwritable output path) become a clean one-line diagnostic, not a
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SERVING_COMMANDS:
+        return _serving_main(argv)
     args = build_parser().parse_args(argv)
     runners = _runners()
     if args.experiment == "list":
         print("available experiments:", ", ".join(sorted(runners)), "+ 'all'")
+        print("serving commands:", ", ".join(SERVING_COMMANDS))
         return 0
     if args.experiment == "all":
         names = sorted(runners)

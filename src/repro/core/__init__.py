@@ -7,6 +7,7 @@ from repro.core.translate import (
     Translation,
     ViewTranslation,
     answer_tuple_to_boolean,
+    clamp_probability,
     theorem1_probability,
     translate,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "Translation",
     "ViewTranslation",
     "answer_tuple_to_boolean",
+    "clamp_probability",
     "theorem1_probability",
     "translate",
 ]

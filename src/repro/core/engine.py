@@ -23,7 +23,12 @@ from __future__ import annotations
 from typing import Any, Mapping, Sequence
 
 from repro.core.mvdb import MVDB
-from repro.core.translate import Translation, theorem1_probability, translate
+from repro.core.translate import (
+    Translation,
+    clamp_probability,
+    theorem1_probability,
+    translate,
+)
 from repro.errors import InferenceError
 from repro.indb.database import TupleIndependentDatabase
 from repro.lineage.dnf import DNF
@@ -52,11 +57,12 @@ class MVQueryEngine:
         permutations: Mapping[str, Sequence[str]] | None = None,
         construction: str = "concat",
     ) -> None:
-        self.mvdb = mvdb
-        self.translation: Translation = translate(mvdb)
+        self.mvdb: MVDB | None = mvdb
+        self.translation: Translation | None = translate(mvdb)
         self.indb: TupleIndependentDatabase = self.translation.indb
         self.probabilities: dict[int, float] = self.indb.probabilities()
         self.order: VariableOrder = order_from_permutations(self.indb, permutations)
+        self.construction = construction
 
         if self.translation.has_views:
             self.w_lineage: DNF = self.indb.lineage_of(self.translation.w_query)
@@ -70,6 +76,38 @@ class MVQueryEngine:
             )
 
         self._p0_w: float | None = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        indb: TupleIndependentDatabase,
+        w_lineage: DNF,
+        order: VariableOrder,
+        mv_index: MVIndex | None = None,
+        mvdb: MVDB | None = None,
+        construction: str = "concat",
+    ) -> "MVQueryEngine":
+        """Assemble an engine from pre-built pipeline products.
+
+        This is the cold-start path of the serving layer
+        (:mod:`repro.serving.artifact`): instead of re-running the offline
+        pipeline — MVDB translation, lineage of ``W``, MV-index compilation —
+        the engine is wired directly from a translated INDB, the lineage of
+        ``W`` and an (optionally ``None``) compiled index that were restored
+        from a saved artifact.  ``mvdb`` may be ``None``; online query
+        answering only needs the translated products, never the source MVDB.
+        """
+        engine = cls.__new__(cls)
+        engine.mvdb = mvdb
+        engine.translation = None
+        engine.indb = indb
+        engine.probabilities = indb.probabilities()
+        engine.order = order
+        engine.construction = construction
+        engine.w_lineage = w_lineage
+        engine.mv_index = mv_index
+        engine._p0_w = None
+        return engine
 
     # ----------------------------------------------------------- W statistics
     @property
@@ -92,6 +130,30 @@ class MVQueryEngine:
         """``P0(¬W)``."""
         return 1.0 - self.p0_w()
 
+    # ------------------------------------------------------------- validation
+    def validate_method(self, method: str) -> None:
+        """Reject evaluation methods not in :data:`METHODS`."""
+        if method not in METHODS:
+            raise InferenceError(f"unknown evaluation method {method!r}; choose from {METHODS}")
+
+    def validate_query(self, query: UCQ | ConjunctiveQuery) -> None:
+        """Reject queries over the translated ``NV_*`` relations.
+
+        User queries must be phrased over the MVDB schema; the ``NV``
+        relations are an artifact of the Theorem 1 translation and querying
+        them directly would produce meaningless probabilities.
+        """
+        ucq = as_ucq(query)
+        unknown_nv = {
+            relation
+            for relation in ucq.relations()
+            if relation.startswith("NV_")
+        }
+        if unknown_nv:
+            raise InferenceError(
+                f"queries must be over the MVDB schema, not the translated NV relations {unknown_nv}"
+            )
+
     # ---------------------------------------------------------------- queries
     def query(
         self,
@@ -103,18 +165,9 @@ class MVQueryEngine:
         For a Boolean query the result maps the empty tuple to ``P(Q)``
         (absent if the query has no derivation, i.e. probability 0).
         """
-        if method not in METHODS:
-            raise InferenceError(f"unknown evaluation method {method!r}; choose from {METHODS}")
         ucq = as_ucq(query)
-        unknown_nv = {
-            relation
-            for relation in ucq.relations()
-            if relation.startswith("NV_")
-        }
-        if unknown_nv:
-            raise InferenceError(
-                f"queries must be over the MVDB schema, not the translated NV relations {unknown_nv}"
-            )
+        self.validate_method(method)
+        self.validate_query(ucq)
         result = evaluate_ucq(ucq, self.indb.database, self.indb)
         answers: dict[tuple[Any, ...], float] = {}
         for answer, lineage in result.lineages().items():
@@ -167,8 +220,9 @@ class MVQueryEngine:
                 "P0(¬W) = 0: the MarkoView hard constraints are violated in every world"
             )
         value = numerator / denominator
-        return min(1.0, max(0.0, value)) if -1e-9 < value < 1.0 + 1e-9 else value
+        return clamp_probability(value, context=f"P0(Q ∧ ¬W) / P0(¬W) via {method!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         index = "no index" if self.mv_index is None else repr(self.mv_index)
-        return f"MVQueryEngine({self.mvdb!r}, W lineage {self.w_lineage_size} clauses, {index})"
+        source = "restored artifact" if self.mvdb is None else repr(self.mvdb)
+        return f"MVQueryEngine({source}, W lineage {self.w_lineage_size} clauses, {index})"

@@ -30,7 +30,7 @@ from typing import Any
 
 from repro.core.markoview import MarkoView
 from repro.core.mvdb import MVDB
-from repro.errors import SchemaError
+from repro.errors import InferenceError, SchemaError
 from repro.indb.database import TupleIndependentDatabase
 from repro.indb.weights import markoview_weight_to_indb_weight
 from repro.query.atoms import Atom
@@ -130,13 +130,40 @@ def translate(mvdb: MVDB) -> Translation:
     return Translation(indb=indb, w_query=w_query, views=view_translations)
 
 
+#: Width of the boundary band inside which out-of-range probabilities are
+#: attributed to floating-point noise and clamped; anything further out is a
+#: genuine inference failure.
+CLAMP_TOLERANCE = 1e-9
+
+
+def clamp_probability(value: float, tolerance: float = CLAMP_TOLERANCE, context: str = "") -> float:
+    """Clamp floating-point noise at the ``[0, 1]`` boundary; reject violations.
+
+    Values within ``tolerance`` of the valid range are snapped onto it (the
+    MarkoView translation works with negative probabilities, so catastrophic
+    cancellation can push exact-in-theory results a hair past a boundary).
+    Values beyond the band indicate a real inference bug — a wrong lineage, a
+    corrupted index, inconsistent probabilities — and raise
+    :class:`~repro.errors.InferenceError` instead of silently escaping to the
+    caller as an out-of-range "probability".
+    """
+    if -tolerance < value < 1.0 + tolerance:
+        return min(1.0, max(0.0, value))
+    where = f" while computing {context}" if context else ""
+    raise InferenceError(
+        f"computed probability {value!r} lies outside [0, 1] beyond the "
+        f"{tolerance:g} noise tolerance{where}"
+    )
+
+
 def theorem1_probability(p0_q_or_w: float, p0_w: float) -> float:
     """Evaluate Eq. 5 of Theorem 1 and clamp tiny numerical noise.
 
     ``P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W))``.  The inputs may carry
     floating-point error of either sign (negative probabilities make
     catastrophic cancellation possible in principle), so results that stray a
-    hair outside ``[0, 1]`` are clamped.
+    hair outside ``[0, 1]`` are clamped; results further out raise
+    :class:`~repro.errors.InferenceError` (see :func:`clamp_probability`).
     """
     denominator = 1.0 - p0_w
     if denominator == 0.0:
@@ -144,7 +171,7 @@ def theorem1_probability(p0_q_or_w: float, p0_w: float) -> float:
             "1 - P0(W) = 0: the MarkoView hard constraints are violated in every world"
         )
     value = (p0_q_or_w - p0_w) / denominator
-    return min(1.0, max(0.0, value)) if -1e-9 < value < 1.0 + 1e-9 else value
+    return clamp_probability(value, context="Theorem 1 (Eq. 5)")
 
 
 def answer_tuple_to_boolean(query: UCQ, answer: tuple[Any, ...]) -> UCQ:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.mvdb import MVDB
 from repro.dblp.config import DblpConfig
+from repro.errors import SchemaError
 from repro.dblp.generator import DblpData, generate_dblp, restrict_to_aid
 from repro.dblp.probabilistic import (
     ProbabilisticTables,
@@ -61,6 +62,11 @@ def build_mvdb(
         Whether to materialise the Affiliation probabilistic table (not needed
         when V3 is excluded; skipping it speeds up sweeps).
     """
+    unknown = sorted(set(include_views) - {"V1", "V2", "V3"})
+    if unknown:
+        # Silently dropping a typo'd view name would build an MVDB without the
+        # intended correlations and make every probability quietly wrong.
+        raise SchemaError(f"unknown MarkoView name(s) {unknown}; choose from V1, V2, V3")
     config = config or DblpConfig()
     data = data or generate_dblp(config)
     tables = build_probabilistic_tables(data)

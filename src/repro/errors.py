@@ -42,6 +42,10 @@ class CompilationError(ReproError):
     """OBDD / MV-index compilation failed."""
 
 
+class ArtifactError(ReproError):
+    """A persisted MV-index artifact is missing, corrupt, or incompatible."""
+
+
 class InferenceError(ReproError):
     """Probabilistic inference failed."""
 

@@ -8,6 +8,7 @@ from repro.experiments.queries import (
     fig11_affiliation_of_author,
     full_workload,
     scalability_index_build,
+    serving_cold_warm,
 )
 from repro.experiments.sweeps import (
     SweepSettings,
@@ -37,6 +38,7 @@ __all__ = [
     "full_workload",
     "report",
     "scalability_index_build",
+    "serving_cold_warm",
     "sweep_aid_values",
     "time_call",
 ]

@@ -136,6 +136,17 @@ class TupleIndependentDatabase:
         """True if the tuple behind ``variable`` has weight ``+∞``."""
         return self.weight_of_variable(variable) == CERTAIN_WEIGHT
 
+    def probabilistic_tuples(self) -> Iterator[tuple[str, Row, float, int]]:
+        """Every possible probabilistic tuple as ``(relation, row, weight, variable)``.
+
+        This is the serialization-facing view of the INDB: unlike
+        :meth:`variable_for`, *certain* tuples (weight ``+∞``) are included,
+        because a faithful copy of the database must carry them too.  Tuples
+        are yielded in increasing variable order (the insertion order).
+        """
+        for variable, (relation, row) in self._tuple_of.items():
+            yield relation, row, self._weights[(relation, row)], variable
+
     # ------------------------------------------------ LineageProvider protocol
     def variable_for(self, relation: str, row: Row) -> int | None:
         """Variable of a probabilistic row (``None`` for deterministic relations).

@@ -21,8 +21,15 @@ from repro.lineage.dnf import DNF, Clause
 
 
 def _components(clauses: frozenset[Clause]) -> list[list[Clause]]:
-    """Partition clauses into connected components by shared variables."""
-    remaining = list(clauses)
+    """Partition clauses into connected components by shared variables.
+
+    Clauses are visited in a sorted order so the component list — and hence
+    the floating-point association of the independent-OR product — is a pure
+    function of the clause *set*, not of its hash-table iteration order.
+    This makes Shannon probabilities bit-identical across processes and for
+    formulas rebuilt from serialized artifacts.
+    """
+    remaining = sorted(clauses, key=sorted)
     var_to_clauses: dict[int, list[int]] = {}
     for index, clause in enumerate(remaining):
         for var in clause:
@@ -83,7 +90,9 @@ class ShannonEvaluator:
         counts: Counter[int] = Counter()
         for clause in clauses:
             counts.update(clause)
-        variable, __ = counts.most_common(1)[0]
+        # Most frequent variable, ties broken by smallest id: deterministic
+        # regardless of set iteration order (see _components).
+        variable = min(counts, key=lambda candidate: (-counts[candidate], candidate))
         probability = self._probabilities[variable]
         positive = DNF(clauses).condition(variable, True).clauses
         negative = DNF(clauses).condition(variable, False).clauses

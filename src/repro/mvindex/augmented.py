@@ -10,7 +10,14 @@ Following Sect. 4.1 of the paper, an augmented OBDD stores for every node
 
 With these two quantities the probability of the conjunction of the indexed
 formula with a *small* query formula can be computed while touching only the
-nodes on levels spanned by the query (Proposition 3).
+nodes on levels spanned by the query (Proposition 3): whenever a traversal
+reaches a node below the query's last level, ``prob_under`` closes the whole
+sub-OBDD in constant time, and ``reachability`` summarises every path above
+the query's first level.  Both annotations are derived quantities: they are
+*not* serialized with the MV-index artifact but recomputed (in linear time,
+deterministically) when an index is restored, which keeps them consistent
+with the probabilities supplied at load time — see
+:meth:`repro.mvindex.index.MVIndex.from_state`.
 """
 
 from __future__ import annotations

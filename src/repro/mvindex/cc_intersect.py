@@ -87,6 +87,18 @@ def _flat_component(component) -> FlatObdd:
     return cached
 
 
+def prewarm_flat_encodings(index: MVIndex) -> None:
+    """Build the flat encoding of every component of ``index`` eagerly.
+
+    The flat arrays are normally built lazily the first time a component is
+    touched, which is a (benign) write to shared state.  Serving layers that
+    want the index to be strictly read-only during concurrent queries call
+    this once up front (see :meth:`repro.serving.session.QuerySession.warm`).
+    """
+    for component in index.components.values():
+        _flat_component(component)
+
+
 def cc_mv_intersect(
     index: MVIndex,
     query_lineage: DNF,

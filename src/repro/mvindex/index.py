@@ -15,8 +15,9 @@ component so that queries only pay for the components their lineage touches.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.errors import CompilationError
 from repro.lineage.dnf import DNF
@@ -57,6 +58,9 @@ class MVIndex:
         self.probabilities = dict(probabilities)
         self.components: dict[int, IndexedComponent] = {}
         self._component_of_variable: dict[int, int] = {}
+        #: Serializes the only query-time mutation of the shared manager (the
+        #: interleaved-component fallback), making concurrent reads safe.
+        self._lock = threading.RLock()
         self._build(w_lineage, construction)
 
     # ------------------------------------------------------------------ build
@@ -85,6 +89,69 @@ class MVIndex:
             self.components[key] = component
             for variable in variables:
                 self._component_of_variable[variable] = key
+
+    # ---------------------------------------------------------- serialization
+    def export_state(self) -> dict[str, Any]:
+        """Serialize the index into plain JSON-compatible data.
+
+        The state holds the node tables of every component OBDD (children
+        first, see :meth:`repro.obdd.manager.ObddManager.export_nodes`) and,
+        per component, its key, root and tuple variables.  The probUnder /
+        reachability annotations are *not* stored: they are recomputed in
+        linear time by :meth:`from_state`, which guarantees they are always
+        consistent with the probabilities supplied at load time.
+        """
+        ordered = [self.components[key] for key in sorted(self.components)]
+        exported = self.manager.export_nodes(component.obdd.root for component in ordered)
+        return {
+            "nodes": exported["nodes"],
+            "components": [
+                {
+                    "key": component.key,
+                    "root": root,
+                    "variables": sorted(component.variables),
+                }
+                for component, root in zip(ordered, exported["roots"])
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Mapping[str, Any],
+        probabilities: Mapping[int, float],
+        order: VariableOrder,
+    ) -> "MVIndex":
+        """Rebuild an index from :meth:`export_state` output.
+
+        The restored index is bit-identical to the exported one: node ids,
+        component iteration order and therefore every floating-point
+        annotation and probability product match the original exactly.
+        """
+        index = cls.__new__(cls)
+        index.order = order
+        index.manager = ObddManager.import_nodes(state["nodes"])
+        index.probabilities = dict(probabilities)
+        index.components = {}
+        index._component_of_variable = {}
+        index._lock = threading.RLock()
+        for entry in state["components"]:
+            variables = frozenset(entry["variables"])
+            if not variables:
+                raise CompilationError("corrupt MV-index state: component without variables")
+            augmented = AugmentedObdd(index.manager, entry["root"], order, index.probabilities)
+            levels = [order.level_of(variable) for variable in variables]
+            component = IndexedComponent(
+                key=entry["key"],
+                obdd=augmented,
+                min_level=min(levels),
+                max_level=max(levels),
+                variables=variables,
+            )
+            index.components[component.key] = component
+            for variable in variables:
+                index._component_of_variable[variable] = component.key
+        return index
 
     # ------------------------------------------------------------- statistics
     @property
@@ -156,16 +223,17 @@ class MVIndex:
         """
         if not components:
             return ONE
-        ordered = sorted(components, key=lambda c: c.min_level)
-        root = ordered[-1].obdd.root
-        previous_min = ordered[-1].min_level
-        for component in reversed(ordered[:-1]):
-            if component.max_level < previous_min:
-                root = self.manager.substitute_terminal(component.obdd.root, ONE, root)
-            else:
-                root = self.manager.apply_and(component.obdd.root, root)
-            previous_min = min(previous_min, component.min_level)
-        return root
+        with self._lock:
+            ordered = sorted(components, key=lambda c: c.min_level)
+            root = ordered[-1].obdd.root
+            previous_min = ordered[-1].min_level
+            for component in reversed(ordered[:-1]):
+                if component.max_level < previous_min:
+                    root = self.manager.substitute_terminal(component.obdd.root, ONE, root)
+                else:
+                    root = self.manager.apply_and(component.obdd.root, root)
+                previous_min = min(previous_min, component.min_level)
+            return root
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

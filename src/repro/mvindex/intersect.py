@@ -17,6 +17,7 @@ OBDDs of ``¬W``:
 from __future__ import annotations
 
 import sys
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Mapping
@@ -30,14 +31,36 @@ from repro.obdd.manager import ONE, ZERO, ObddManager
 from repro.obdd.order import VariableOrder
 
 
+#: Guards the process-global recursion limit: concurrent traversals (e.g. a
+#: parallel ``query_batch``) must not restore the limit while another thread
+#: is still deep in a recursive walk.
+_RECURSION_GUARD = threading.Lock()
+_recursion_users = 0
+_saved_recursion_limit = 0
+
+
 @contextmanager
 def _recursion_limit(limit: int):
-    previous = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(previous, limit))
+    """Raise the recursion limit for the duration of a traversal.
+
+    Re-entrant and thread-safe: the limit is raised when the first user
+    enters and only restored when the last user leaves, so one thread
+    finishing cannot pull the limit out from under another thread that is
+    still recursing.
+    """
+    global _recursion_users, _saved_recursion_limit
+    with _RECURSION_GUARD:
+        if _recursion_users == 0:
+            _saved_recursion_limit = sys.getrecursionlimit()
+        _recursion_users += 1
+        sys.setrecursionlimit(max(sys.getrecursionlimit(), limit))
     try:
         yield
     finally:
-        sys.setrecursionlimit(previous)
+        with _RECURSION_GUARD:
+            _recursion_users -= 1
+            if _recursion_users == 0:
+                sys.setrecursionlimit(_saved_recursion_limit)
 
 
 @dataclass

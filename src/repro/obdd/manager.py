@@ -9,11 +9,20 @@ Nodes are integers.  The two terminals are ``ZERO = 0`` and ``ONE = 1``;
 internal nodes are indices ≥ 2 into flat arrays (level, low, high), which
 keeps the manager compact and makes the cache-conscious MV-index layout
 (:mod:`repro.mvindex.cc_intersect`) a straightforward re-encoding.
+
+The flat-array representation also gives the manager a *stable
+serialization*: :meth:`ObddManager.export_nodes` walks the nodes reachable
+from a set of roots in a deterministic child-first order and emits plain
+``(level, low, high)`` triples, and :meth:`ObddManager.import_nodes` replays
+them through :meth:`ObddManager.make_node` so that a restored manager is
+reduced, shares structure, and assigns exactly the node ids recorded in the
+export.  This is what lets a compiled MV-index be persisted to disk and
+reloaded in a different process (see :mod:`repro.serving.artifact`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import CompilationError
 
@@ -260,6 +269,64 @@ class ObddManager:
         """Drop the apply/negate caches (unique table is kept)."""
         self._apply_cache.clear()
         self._negate_cache.clear()
+
+    # ---------------------------------------------------------- serialization
+    def export_nodes(self, roots: Iterable[int]) -> dict[str, list]:
+        """Serialize the node tables reachable from ``roots``.
+
+        Returns ``{"nodes": [[level, low, high], ...], "roots": [...]}`` where
+        node ``i`` of the list is assigned id ``i + 2`` (ids 0/1 are the
+        terminals) and ``roots`` holds the re-mapped root ids in input order.
+        Nodes are emitted children-first in a deterministic DFS postorder, so
+        :meth:`import_nodes` can replay them through :meth:`make_node` and
+        obtain exactly the recorded ids.  Unreachable (garbage) nodes of this
+        manager are not exported, making the artifact compact and its content
+        a pure function of the exported OBDDs.
+        """
+        root_list = list(roots)
+        position: dict[int, int] = {ZERO: ZERO, ONE: ONE}
+        nodes: list[list[int]] = []
+        for root in root_list:
+            if root in position:
+                continue
+            # Iterative postorder: children receive ids before their parent.
+            stack: list[tuple[int, bool]] = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if node in position:
+                    continue
+                if expanded:
+                    position[node] = len(nodes) + 2
+                    nodes.append(
+                        [
+                            self._level[node],
+                            position[self._low[node]],
+                            position[self._high[node]],
+                        ]
+                    )
+                else:
+                    stack.append((node, True))
+                    stack.append((self._high[node], False))
+                    stack.append((self._low[node], False))
+        return {"nodes": nodes, "roots": [position[root] for root in root_list]}
+
+    @classmethod
+    def import_nodes(cls, nodes: Iterable[Sequence[int]]) -> "ObddManager":
+        """Rebuild a manager from :meth:`export_nodes` output.
+
+        Every entry is replayed through :meth:`make_node`, which re-validates
+        ordering and reduction; because the export is children-first and free
+        of duplicates, the ``i``-th entry is assigned id ``i + 2``, matching
+        the ids recorded in the export.
+        """
+        manager = cls()
+        for offset, (level, low, high) in enumerate(nodes):
+            node = manager.make_node(level, low, high)
+            if node != offset + 2:
+                raise CompilationError(
+                    f"corrupt OBDD serialization: entry {offset} mapped to node {node}"
+                )
+        return manager
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ObddManager({self.node_count()} nodes)"

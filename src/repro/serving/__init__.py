@@ -1,0 +1,46 @@
+"""Persistent, cache-aware query serving on top of the MV-index engine.
+
+This package turns the paper's offline/online split into an operational
+serving story:
+
+* :mod:`repro.serving.artifact` — persist the offline pipeline products
+  (translated INDB, variable order, lineage of ``W``, compiled MV-index with
+  its OBDD node tables) to disk and cold-start engines from the saved
+  artifact instead of recompiling;
+* :mod:`repro.serving.canonical` — canonical cache keys for UCQs, so
+  re-phrased queries share cache entries;
+* :mod:`repro.serving.session` — a thread-safe :class:`QuerySession` with
+  LRU result/lineage caches, prepared-query handles, and a batch API that
+  shares one relational evaluation pass across many queries.
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    engine_from_state,
+    engine_state,
+    load_engine,
+    save_engine,
+)
+from repro.serving.canonical import canonical_cq_key, canonical_key
+from repro.serving.session import (
+    DEFAULT_CACHE_SIZE,
+    PreparedQuery,
+    QuerySession,
+    SessionStatistics,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "DEFAULT_CACHE_SIZE",
+    "PreparedQuery",
+    "QuerySession",
+    "SessionStatistics",
+    "canonical_cq_key",
+    "canonical_key",
+    "engine_from_state",
+    "engine_state",
+    "load_engine",
+    "save_engine",
+]

@@ -1,0 +1,77 @@
+"""Canonical cache keys for UCQs.
+
+The serving layer caches lineages and results across queries, so two queries
+that differ only in presentation — variable names, atom order, disjunct
+order — must map to the same cache key.  :func:`canonical_key` renders a UCQ
+into a canonical string:
+
+1. inside each conjunctive query, atoms are sorted by their *skeleton* (the
+   relation name plus the positions and values of constants, with variables
+   blanked out);
+2. variables are renamed ``v0, v1, ...`` in order of first occurrence — head
+   variables first, then body variables in sorted-atom order;
+3. comparisons are rendered with the canonical names and sorted;
+4. the disjuncts of the UCQ are rendered independently and sorted.
+
+The renaming is greedy rather than a full graph canonicalisation, so some
+pairs of isomorphic queries (e.g. self-joins whose atoms have identical
+skeletons) may still receive different keys.  That only costs a cache miss;
+it can never cause a wrong cache hit, because two queries with the same key
+are syntactically identical up to variable renaming and therefore have the
+same answers.
+"""
+
+from __future__ import annotations
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.terms import Term, Variable, is_variable
+from repro.query.ucq import UCQ, as_ucq
+
+#: Placeholder used for variables when sorting atoms by skeleton.
+_BLANK = "\x00var"
+
+
+def _skeleton(term: Term) -> tuple[str, str]:
+    """A sort key for one atom argument that ignores variable names."""
+    if is_variable(term):
+        return ("v", _BLANK)
+    value = term.value  # type: ignore[union-attr]
+    return ("c", f"{type(value).__name__}:{value!r}")
+
+
+def canonical_cq_key(cq: ConjunctiveQuery) -> str:
+    """Canonical string for a single conjunctive query (one UCQ disjunct)."""
+    atoms = sorted(
+        cq.atoms, key=lambda atom: (atom.relation, tuple(_skeleton(t) for t in atom.terms))
+    )
+    names: dict[Variable, str] = {}
+
+    def rename(variable: Variable) -> str:
+        if variable not in names:
+            names[variable] = f"v{len(names)}"
+        return names[variable]
+
+    def render(term: Term) -> str:
+        if is_variable(term):
+            return rename(term)
+        return repr(term.value)  # type: ignore[union-attr]
+
+    head = [rename(variable) for variable in cq.head]
+    rendered_atoms = []
+    for atom in atoms:
+        terms = ", ".join(render(term) for term in atom.terms)
+        rendered_atoms.append(f"{atom.relation}({terms})")
+    # Safety guarantees every comparison variable occurs in some atom, so by
+    # now all of them already carry canonical names.
+    rendered_comparisons = sorted(
+        f"{render(comparison.left)} {comparison.op} {render(comparison.right)}"
+        for comparison in cq.comparisons
+    )
+    body = ", ".join(rendered_atoms + rendered_comparisons)
+    return f"({', '.join(head)}) :- {body}"
+
+
+def canonical_key(query: UCQ | ConjunctiveQuery) -> str:
+    """Canonical cache key of a UCQ (or CQ): sorted canonical disjuncts."""
+    ucq = as_ucq(query)
+    return " ∨ ".join(sorted(canonical_cq_key(cq) for cq in ucq.disjuncts))

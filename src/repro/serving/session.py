@@ -1,0 +1,380 @@
+"""Cache-aware, thread-safe query serving on top of :class:`MVQueryEngine`.
+
+A :class:`QuerySession` wraps an engine (freshly built, or cold-started from
+a saved artifact via :mod:`repro.serving.artifact`) with the machinery a
+long-lived serving process needs:
+
+* an **LRU result cache** and an **LRU lineage cache**, both keyed on
+  canonicalized UCQs (:mod:`repro.serving.canonical`), so repeated queries —
+  even re-phrased ones — skip the relational round trip and the index
+  intersection entirely;
+* **prepared queries** (:class:`PreparedQuery`): the relational round trip
+  happens once at prepare time, after which the handle can be executed under
+  any evaluation method;
+* a **batch API** (:meth:`QuerySession.query_batch`) that deduplicates the
+  conjunctive disjuncts of all queries in the batch and evaluates each
+  distinct one exactly once — a single relational evaluation pass shared by
+  the whole batch — before intersecting every lineage against the MV-index;
+* **thread safety**: all public methods may be called from concurrent
+  threads; an optional worker pool parallelises the per-query intersection
+  stage of a batch.
+
+Counters for all of this live in :class:`SessionStatistics`, which the
+experiment harness uses to report cold-versus-warm serving behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Sequence
+
+from repro.core.engine import MVQueryEngine
+from repro.lineage.dnf import DNF
+from repro.mvindex.cc_intersect import prewarm_flat_encodings
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluator import QueryResult, evaluate_cq
+from repro.query.ucq import UCQ, as_ucq
+from repro.serving.canonical import canonical_cq_key, canonical_key
+
+#: Default capacity of the result and lineage LRU caches.
+DEFAULT_CACHE_SIZE = 256
+
+
+@dataclass
+class SessionStatistics:
+    """Counters describing the work a session performed."""
+
+    #: Queries answered straight from the result cache.
+    result_hits: int = 0
+    #: Queries whose probabilities had to be computed.
+    result_misses: int = 0
+    #: Lineage look-ups served from the lineage cache.
+    lineage_hits: int = 0
+    #: Lineage look-ups that required relational evaluation.
+    lineage_misses: int = 0
+    #: Relational evaluation passes over the data (one per uncached single
+    #: query; exactly one per batch regardless of the batch size).
+    relational_passes: int = 0
+    #: Distinct conjunctive disjuncts evaluated inside those passes.
+    evaluated_disjuncts: int = 0
+    #: Calls to :meth:`QuerySession.query_batch`.
+    batches: int = 0
+    #: In-batch duplicate queries resolved by sharing the batch's own
+    #: computation (not served from the result cache).
+    deduplicated: int = 0
+    #: Entries dropped from either LRU cache.
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dictionary (for reports and tests)."""
+        return dict(vars(self))
+
+
+class _LruCache:
+    """A small LRU map.  Not thread-safe: callers hold the session lock."""
+
+    def __init__(self, capacity: int, statistics: SessionStatistics) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._statistics = statistics
+
+    def get(self, key: Hashable) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._statistics.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class PreparedQuery:
+    """A handle to a query whose relational round trip has been paid.
+
+    Obtained from :meth:`QuerySession.prepare`.  The handle pins the query's
+    canonical key and its per-answer lineages; :meth:`run` then only performs
+    (cached) probability computation, under any evaluation method.
+    """
+
+    session: "QuerySession"
+    ucq: UCQ
+    key: str
+    lineages: dict[tuple[Any, ...], DNF] = field(repr=False, default_factory=dict)
+
+    def run(self, method: str = "mvindex") -> dict[tuple[Any, ...], float]:
+        """Answer probabilities for the prepared query (result-cached)."""
+        return self.session._run_prepared(self, method)
+
+    def boolean_probability(self, method: str = "mvindex") -> float:
+        """``P(Q)`` for a prepared Boolean query (0.0 without derivations)."""
+        return self.run(method).get((), 0.0)
+
+
+class QuerySession:
+    """A thread-safe, cache-aware serving session over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The query engine to serve from.  Typically restored from an artifact
+        (:func:`repro.serving.artifact.load_engine`) in a serving process.
+    cache_size:
+        Capacity of each LRU cache (results and lineages).
+    """
+
+    def __init__(self, engine: MVQueryEngine, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        self.engine = engine
+        self.statistics = SessionStatistics()
+        self._lock = threading.RLock()
+        self._results = _LruCache(cache_size, self.statistics)
+        self._lineages = _LruCache(cache_size, self.statistics)
+        self._warmed = False
+
+    # ----------------------------------------------------------------- warmup
+    def warm(self) -> None:
+        """Precompute everything lazy so concurrent queries only read.
+
+        Computes ``P0(W)`` and the flat (cache-conscious) encoding of every
+        index component.  Called automatically before a parallel batch; safe
+        to call any number of times.
+        """
+        with self._lock:
+            if self._warmed:
+                return
+            self.engine.p0_w()
+            if self.engine.mv_index is not None:
+                prewarm_flat_encodings(self.engine.mv_index)
+            self._warmed = True
+
+    # ---------------------------------------------------------------- queries
+    def query(
+        self, query: UCQ | ConjunctiveQuery, method: str = "mvindex"
+    ) -> dict[tuple[Any, ...], float]:
+        """Probability of every answer of ``query`` (cached, thread-safe).
+
+        The session lock only guards the caches and statistics; relational
+        evaluation and probability inference run outside it, so concurrent
+        cached queries are never serialized behind a cold one.  Concurrent
+        misses on the same query may duplicate work; both compute identical
+        values.
+        """
+        ucq = as_ucq(query)
+        self.engine.validate_method(method)
+        self.engine.validate_query(ucq)
+        key = canonical_key(ucq)
+        with self._lock:
+            cached = self._results.get((key, method))
+            if cached is not None:
+                self.statistics.result_hits += 1
+                return dict(cached)
+            self.statistics.result_misses += 1
+        lineages = self._lineages_for(key, ucq)
+        self.warm()
+        answers = self._probabilities(lineages, method)
+        with self._lock:
+            self._results.put((key, method), answers)
+        return dict(answers)
+
+    def boolean_probability(self, query: UCQ | ConjunctiveQuery, method: str = "mvindex") -> float:
+        """``P(Q)`` for a Boolean query (0.0 if it has no derivations)."""
+        return self.query(query, method=method).get((), 0.0)
+
+    def prepare(self, query: UCQ | ConjunctiveQuery) -> PreparedQuery:
+        """Pay the relational round trip now; return a reusable handle."""
+        ucq = as_ucq(query)
+        self.engine.validate_query(ucq)
+        key = canonical_key(ucq)
+        lineages = self._lineages_for(key, ucq)
+        return PreparedQuery(session=self, ucq=ucq, key=key, lineages=lineages)
+
+    def query_batch(
+        self,
+        queries: Sequence[UCQ | ConjunctiveQuery],
+        method: str = "mvindex",
+        workers: int | None = None,
+    ) -> list[dict[tuple[Any, ...], float]]:
+        """Answer many queries with one shared relational evaluation pass.
+
+        All uncached queries in the batch contribute their conjunctive
+        disjuncts to a single pool; each *distinct* disjunct (after
+        canonicalization) is evaluated exactly once against the data, and the
+        per-query lineages are assembled from the shared results.  The
+        subsequent index-intersection stage runs sequentially, or on a thread
+        pool when ``workers`` is given (the session is warmed first, making
+        the MV-index strictly read-only, so the intersections are
+        independent; with the GIL this mainly overlaps work, but the
+        structure is ready for free-threaded interpreters).  The heavy
+        computation happens outside the session lock, so concurrent cached
+        queries are not serialized behind a cold batch.
+
+        Returns one ``{answer: probability}`` dictionary per input query, in
+        input order.
+        """
+        ucqs = [as_ucq(query) for query in queries]
+        self.engine.validate_method(method)
+        for ucq in ucqs:
+            self.engine.validate_query(ucq)
+        keys = [canonical_key(ucq) for ucq in ucqs]
+        # The expensive work below runs OUTSIDE the session lock so that a
+        # long cold batch does not serialize concurrent cached queries; the
+        # engine/index are strictly read-only after warm().  The lock only
+        # guards cache reads/writes and statistics.  Two concurrent cold
+        # batches may duplicate some work; both compute identical values.
+        self.warm()
+        with self._lock:
+            self.statistics.batches += 1
+            # Answers are accumulated locally so the batch stays correct even
+            # when it holds more distinct queries than the LRU caches do.
+            resolved: dict[str, dict[tuple[Any, ...], float]] = {}
+            pending: "OrderedDict[str, UCQ]" = OrderedDict()
+            for key, ucq in zip(keys, ucqs):
+                if key in pending:
+                    self.statistics.deduplicated += 1
+                    continue
+                if key in resolved:
+                    self.statistics.result_hits += 1
+                    continue
+                cached = self._results.get((key, method))
+                if cached is not None:
+                    self.statistics.result_hits += 1
+                    resolved[key] = cached
+                else:
+                    self.statistics.result_misses += 1
+                    pending[key] = ucq
+            lineage_map: dict[str, dict[tuple[Any, ...], DNF]] = {}
+            missing_lineages: "OrderedDict[str, UCQ]" = OrderedDict()
+            for key, ucq in pending.items():
+                cached_lineages = self._lineages.get(key)
+                if cached_lineages is not None:
+                    self.statistics.lineage_hits += 1
+                    lineage_map[key] = cached_lineages
+                else:
+                    missing_lineages[key] = ucq
+        if missing_lineages:
+            fresh, distinct = self._evaluate_shared(missing_lineages)
+            lineage_map.update(fresh)
+            with self._lock:
+                self.statistics.lineage_misses += len(missing_lineages)
+                self.statistics.relational_passes += 1
+                self.statistics.evaluated_disjuncts += distinct
+                for key, lineages in fresh.items():
+                    self._lineages.put(key, lineages)
+        items = [(key, lineage_map[key]) for key in pending]
+        if workers is not None and workers > 1 and len(items) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                computed = list(
+                    pool.map(lambda item: self._probabilities(item[1], method), items)
+                )
+        else:
+            computed = [self._probabilities(lineages, method) for __, lineages in items]
+        with self._lock:
+            for (key, __), answers in zip(items, computed):
+                self._results.put((key, method), answers)
+                resolved[key] = answers
+        return [dict(resolved[key]) for key in keys]
+
+    # -------------------------------------------------------------- internals
+    def _lineages_for(self, key: str, ucq: UCQ) -> dict[tuple[Any, ...], DNF]:
+        """Per-answer lineages of one query, via the lineage cache.
+
+        Takes the session lock only around cache/statistics access; the
+        relational evaluation itself runs unlocked.
+        """
+        with self._lock:
+            cached = self._lineages.get(key)
+            if cached is not None:
+                self.statistics.lineage_hits += 1
+                return cached
+        fresh, distinct = self._evaluate_shared({key: ucq})
+        with self._lock:
+            self.statistics.lineage_misses += 1
+            self.statistics.relational_passes += 1
+            self.statistics.evaluated_disjuncts += distinct
+            self._lineages.put(key, fresh[key])
+        return fresh[key]
+
+    def _evaluate_shared(
+        self, pending: "dict[str, UCQ] | OrderedDict[str, UCQ]"
+    ) -> tuple[dict[str, dict[tuple[Any, ...], DNF]], int]:
+        """One relational evaluation pass shared by all queries in ``pending``.
+
+        Every distinct conjunctive disjunct across the pending queries is
+        evaluated exactly once; per-query lineages are then assembled by
+        merging the shared per-disjunct results.  Pure computation — no cache
+        or statistics access, so it may run outside the session lock.
+        Returns the per-key lineage maps and the number of distinct disjuncts
+        evaluated.
+        """
+        engine = self.engine
+        distinct: "OrderedDict[str, ConjunctiveQuery]" = OrderedDict()
+        memberships: dict[str, list[str]] = {}
+        for key, ucq in pending.items():
+            disjunct_keys = []
+            for cq in ucq.disjuncts:
+                cq_key = canonical_cq_key(cq)
+                distinct.setdefault(cq_key, cq)
+                disjunct_keys.append(cq_key)
+            memberships[key] = disjunct_keys
+        evaluated = {
+            cq_key: evaluate_cq(cq, engine.indb.database, engine.indb)
+            for cq_key, cq in distinct.items()
+        }
+        assembled: dict[str, dict[tuple[Any, ...], DNF]] = {}
+        for key, ucq in pending.items():
+            result = QueryResult(ucq.head)
+            for cq_key in memberships[key]:
+                result.merge(evaluated[cq_key])
+            assembled[key] = result.lineages()
+        return assembled, len(distinct)
+
+    def _probabilities(
+        self, lineages: dict[tuple[Any, ...], DNF], method: str
+    ) -> dict[tuple[Any, ...], float]:
+        """Intersect every answer lineage against the index."""
+        engine = self.engine
+        return {
+            answer: engine._lineage_probability(lineage, method)
+            for answer, lineage in lineages.items()
+        }
+
+    def _run_prepared(self, prepared: PreparedQuery, method: str) -> dict[tuple[Any, ...], float]:
+        self.engine.validate_method(method)
+        with self._lock:
+            cached = self._results.get((prepared.key, method))
+            if cached is not None:
+                self.statistics.result_hits += 1
+                return dict(cached)
+            self.statistics.result_misses += 1
+        self.warm()
+        answers = self._probabilities(prepared.lineages, method)
+        with self._lock:
+            self._results.put((prepared.key, method), answers)
+        return dict(answers)
+
+    # ------------------------------------------------------------- inspection
+    def cache_info(self) -> dict[str, int]:
+        """Sizes of both caches plus every statistics counter."""
+        with self._lock:
+            info = {
+                "result_entries": len(self._results),
+                "lineage_entries": len(self._lineages),
+            }
+            info.update(self.statistics.as_dict())
+            return info
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuerySession({self.engine!r}, {len(self._results)} cached results, "
+            f"{len(self._lineages)} cached lineages)"
+        )

@@ -31,3 +31,75 @@ class TestCli:
     def test_full_dataset_experiments_tiny(self, capsys, experiment):
         assert main([experiment, "--groups", "4"]) == 0
         assert experiment.replace("fig1", "fig1_dataset_inventory") in capsys.readouterr().out or True
+
+    def test_serving_experiment_tiny(self, capsys):
+        assert main(["serving", "--groups", "4"]) == 0
+        assert "serving_cold_warm" in capsys.readouterr().out
+
+
+class TestServingCli:
+    def test_save_load_serve_round_trip(self, capsys, tmp_path):
+        artifact = tmp_path / "dblp.json.gz"
+        assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
+        assert artifact.exists()
+        assert "MV-index" in capsys.readouterr().out
+
+        query = (
+            "Q(aid) :- Student(aid, y), Advisor(aid, a), Author(a, n), n like '%Advisor 0%'"
+        )
+        assert main(["load-index", str(artifact), "--query", query]) == 0
+        output = capsys.readouterr().out
+        assert "cold start from artifact" in output
+        assert "query answered" in output
+
+        assert main(["serve-batch", str(artifact), "--count", "10", "--repeat", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "round 1 (cold)" in output and "round 2 (warm)" in output
+        assert "1 relational pass(es)" in output
+
+    def test_serve_batch_from_query_file(self, capsys, tmp_path):
+        artifact = tmp_path / "dblp.json"
+        assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        queries = tmp_path / "queries.dl"
+        queries.write_text(
+            "# workload\n"
+            "Q(aid) :- Student(aid, y), Advisor(aid, a), Author(a, n), n like '%Advisor 0%'\n"
+            "Q(aid1) :- Student(aid, y), Advisor(aid, aid1), Author(aid, n), n like '%Student 1-0%'\n"
+        )
+        assert main(["serve-batch", str(artifact), "--queries", str(queries)]) == 0
+        assert "2 queries" in capsys.readouterr().out
+
+    def test_load_index_missing_artifact_fails(self, capsys, tmp_path):
+        assert main(["load-index", str(tmp_path / "missing.json")]) == 2
+        assert "no MV-index artifact" in capsys.readouterr().err
+
+    def test_load_index_corrupt_artifact_fails(self, capsys, tmp_path):
+        artifact = tmp_path / "dblp.json.gz"
+        assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        artifact.write_bytes(artifact.read_bytes()[:100])  # truncate the stream
+        assert main(["load-index", str(artifact)]) == 2
+        assert "cannot read MV-index artifact" in capsys.readouterr().err
+
+    def test_save_index_rejects_unknown_views(self, capsys, tmp_path):
+        # The guard lives in build_mvdb; the CLI relays it as a clean error.
+        code = main(["save-index", "--groups", "4", "--views", "V1,V9", "--out", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "unknown MarkoView name(s)" in capsys.readouterr().err
+        assert not (tmp_path / "x.json").exists()
+
+    def test_serve_batch_missing_query_file_fails(self, capsys, tmp_path):
+        artifact = tmp_path / "dblp.json"
+        assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        missing = tmp_path / "missing.dl"
+        assert main(["serve-batch", str(artifact), "--queries", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_load_index_bad_query_fails(self, capsys, tmp_path):
+        artifact = tmp_path / "dblp.json"
+        assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["load-index", str(artifact), "--query", "Q(aid) :- "]) == 2
+        assert "error:" in capsys.readouterr().err
