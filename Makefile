@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench docs-check all
+.PHONY: test bench bench-gate docs-check lint all
 
 ## Tier-1 test suite (fast; what CI gates on).
 test:
@@ -14,9 +14,19 @@ test:
 bench:
 	$(PYTHON) -m pytest -q benchmarks
 
+## Benchmark gate: re-run fig8/fig9 at smoke scale and fail on construction
+## regressions (>25% over budget) or probability drift (>1e-9) against the
+## committed baseline in benchmarks/results/bench_gate_baseline.json.
+bench-gate:
+	$(PYTHON) scripts/bench_gate.py
+
 ## Documentation checks: every python block in README.md must run, and the
 ## documented modules must render under pydoc.
 docs-check:
 	$(PYTHON) scripts/check_readme.py README.md
 
-all: test bench docs-check
+## Lint (configuration in pyproject.toml [tool.ruff]).
+lint:
+	ruff check src tests benchmarks scripts
+
+all: test lint bench bench-gate docs-check

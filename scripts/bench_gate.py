@@ -1,0 +1,330 @@
+#!/usr/bin/env python
+"""Benchmark gate: fail CI on construction-time or probability regressions.
+
+The gate re-runs the hot paths of Fig. 8 (OBDD construction: CUDD-style
+synthesis and ConOBDD concatenation over the full view lineage ``W``) and
+Fig. 9 (worst-case MV-index intersection) at *smoke scale*, then compares
+the results against the committed baseline in
+``benchmarks/results/bench_gate_baseline.json``:
+
+* **probabilities must not drift**: ``P0(W)`` and a fixed set of query
+  intersections must match the recorded values within ``1e-9`` — the OBDD
+  kernel is deterministic, so any drift is a correctness bug;
+* **work counts must not regress**: the number of apply-cache misses
+  (``ObddManager.apply_steps``) is a platform-neutral measure of synthesis
+  effort and may not exceed the recorded count by more than 5%;
+* **wall-clock must stay inside budget**: every timed section has a budget
+  (in *normalized* time, see below) and fails the gate when it exceeds the
+  budget by more than 25%.
+
+Wall-clock comparisons across machines are meaningless, so every run first
+times a fixed pure-Python calibration workload and divides the measured
+sections by it.  A machine twice as fast halves both numbers and the ratio
+is stable; what the gate really bounds is "kernel work per unit of
+interpreter speed".
+
+The committed baseline was recorded with the *pre-PR recursive kernel* and
+encodes the acceptance bar of the iterative-kernel rewrite: the fig8
+ConOBDD concatenation and the MV-index build — the construction paths the
+system actually runs — carry budgets of ``reference_seconds / 2`` (at
+least twice as fast as the recursive kernel), while the CUDD-style
+synthesis strawman and the fig9 intersections use their reference time as
+the budget (no regression allowed beyond the 25% margin).
+
+Usage::
+
+    python scripts/bench_gate.py                 # compare against baseline
+    python scripts/bench_gate.py --update        # re-record the baseline
+    python scripts/bench_gate.py --json          # machine-readable report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.engine import MVQueryEngine  # noqa: E402
+from repro.dblp.config import DblpConfig  # noqa: E402
+from repro.dblp.workload import build_mvdb  # noqa: E402
+from repro.lineage.dnf import DNF  # noqa: E402
+from repro.mvindex.cc_intersect import cc_mv_intersect  # noqa: E402
+from repro.mvindex.index import MVIndex  # noqa: E402
+from repro.mvindex.intersect import mv_intersect  # noqa: E402
+from repro.obdd.construct import build_obdd  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "bench_gate_baseline.json"
+
+#: Smoke scale: large enough for stable timings, small enough for CI.
+SMOKE_GROUPS = 40
+SMOKE_SEED = 0
+
+#: Budget headroom: a section fails only when > budget * (1 + margin).
+REGRESSION_MARGIN = 0.25
+#: Required speedup of the system's construction paths (ConOBDD
+#: concatenation and MV-index build) over the recorded recursive kernel.
+CONSTRUCTION_SPEEDUP = 2.0
+#: Sections carrying the construction-speedup budget.
+CONSTRUCTION_SECTIONS = ("fig8_concat", "index_build")
+#: Tolerance for probability drift (probabilities are deterministic).
+PROBABILITY_TOLERANCE = 1e-9
+#: Tolerance for apply-step (work-count) growth.
+STEP_TOLERANCE = 0.05
+#: Timed sections: best-of-N to suppress scheduler noise (the heavyweight
+#: synthesis section uses fewer repeats, the sub-10ms sections more).
+REPEATS = 3
+REPEATS_SMALL = 7
+
+
+def _calibrate() -> float:
+    """Seconds for a fixed interpreter workload (dict/int heavy, like apply)."""
+
+    def workload() -> int:
+        table: dict[int, int] = {}
+        total = 0
+        for i in range(200_000):
+            key = (i * 2654435761) & 0xFFFFFF
+            hit = table.get(key)
+            if hit is None:
+                table[key] = i
+            else:
+                total += hit
+        return total
+
+    return min(_best_of(workload)[0] for __ in range(2))
+
+
+def _best_of(function, repeats: int = REPEATS):
+    best = float("inf")
+    result = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _worst_case_query(index: MVIndex, tuples: int = 20) -> DNF:
+    """A query lineage touching every component (the Fig. 9 setup)."""
+    touched = [min(component.variables) for component in index.components.values()]
+    extra = [v for v in sorted(index.variables()) if v not in touched]
+    return DNF([[v] for v in touched + extra[: max(0, tuples - len(touched))]])
+
+
+def measure() -> dict:
+    """Run the smoke-scale constructions and intersections; return raw metrics."""
+    calibration = _calibrate()
+
+    workload = build_mvdb(DblpConfig(group_count=SMOKE_GROUPS, seed=SMOKE_SEED))
+    engine = MVQueryEngine(workload.mvdb, build_index=False)
+    lineage = engine.w_lineage
+    order = engine.order
+    probabilities = engine.probabilities
+
+    synthesis_s, synthesis = _best_of(
+        lambda: build_obdd(lineage, order, method="synthesis")
+    )
+    concat_s, concat = _best_of(
+        lambda: build_obdd(lineage, order, method="concat"), repeats=REPEATS_SMALL
+    )
+    index_s, index = _best_of(
+        lambda: MVIndex(lineage, probabilities, order), repeats=REPEATS_SMALL
+    )
+
+    query = _worst_case_query(index)
+    # Warm once (flat re-encoding is an offline cost), then time the traversals.
+    mv_value = mv_intersect(index, query, probabilities)
+    cc_value = cc_mv_intersect(index, query, probabilities)
+    mv_s, __ = _best_of(
+        lambda: mv_intersect(index, query, probabilities), repeats=REPEATS_SMALL
+    )
+    cc_s, __ = _best_of(
+        lambda: cc_mv_intersect(index, query, probabilities), repeats=REPEATS_SMALL
+    )
+
+    single = DNF([[min(index.variables())]])
+    return {
+        "scale": {"groups": SMOKE_GROUPS, "seed": SMOKE_SEED, "clauses": len(lineage)},
+        "calibration_s": calibration,
+        "sections": {
+            "fig8_synthesis": synthesis_s / calibration,
+            "fig8_concat": concat_s / calibration,
+            "index_build": index_s / calibration,
+            "fig9_mv_intersect": mv_s / calibration,
+            "fig9_cc_intersect": cc_s / calibration,
+        },
+        "raw_seconds": {
+            "fig8_synthesis": synthesis_s,
+            "fig8_concat": concat_s,
+            "index_build": index_s,
+            "fig9_mv_intersect": mv_s,
+            "fig9_cc_intersect": cc_s,
+        },
+        "apply_steps": {
+            "synthesis": synthesis.manager.apply_steps,
+            "concat": concat.manager.apply_steps,
+        },
+        "probabilities": {
+            "p0_w": index.probability_w(),
+            "worst_case_mv": mv_value,
+            "worst_case_cc": cc_value,
+            "single_tuple_cc": cc_mv_intersect(index, single, probabilities),
+            "concat_root": concat.probability(probabilities),
+            "synthesis_root": synthesis.probability(probabilities),
+        },
+        "structure": {
+            "obdd_size": concat.size,
+            "index_nodes": index.size,
+            "index_components": index.component_count(),
+        },
+    }
+
+
+def budgets_from_reference(sections: dict) -> dict:
+    """Budgets (normalized time) derived from a reference measurement.
+
+    The ConOBDD concatenation and the MV-index build carry the
+    iterative-kernel acceptance bar: their budgets are the recursive
+    reference divided by the required speedup.  The CUDD-style synthesis
+    strawman and the intersections simply must not regress past their
+    reference.
+    """
+    budgets = dict(sections)
+    for section in CONSTRUCTION_SECTIONS:
+        budgets[section] = sections[section] / CONSTRUCTION_SPEEDUP
+    return budgets
+
+
+def compare(current: dict, baseline: dict) -> list[str]:
+    """All gate violations of ``current`` against ``baseline`` (empty = pass)."""
+    failures: list[str] = []
+
+    for name, expected in baseline["probabilities"].items():
+        actual = current["probabilities"].get(name)
+        if actual is None or abs(actual - expected) > PROBABILITY_TOLERANCE:
+            failures.append(
+                f"probability drift in {name}: {actual!r} vs baseline {expected!r} "
+                f"(tolerance {PROBABILITY_TOLERANCE})"
+            )
+
+    for name, expected in baseline["structure"].items():
+        actual = current["structure"].get(name)
+        if actual != expected:
+            failures.append(
+                f"structure change in {name}: {actual!r} vs baseline {expected!r} "
+                "(the compiled OBDDs are canonical; sizes must match exactly)"
+            )
+
+    for name, expected in baseline["apply_steps"].items():
+        actual = current["apply_steps"].get(name, 0)
+        if actual > expected * (1 + STEP_TOLERANCE):
+            failures.append(
+                f"apply-step regression in {name}: {actual} vs baseline {expected} "
+                f"(> {STEP_TOLERANCE:.0%} growth)"
+            )
+
+    budgets = baseline["budgets"]
+    for name, budget in budgets.items():
+        actual = current["sections"][name]
+        if actual > budget * (1 + REGRESSION_MARGIN):
+            failures.append(
+                f"construction-time regression in {name}: normalized {actual:.3f} "
+                f"vs budget {budget:.3f} (> {REGRESSION_MARGIN:.0%} over budget)"
+            )
+    return failures
+
+
+def render_report(current: dict, baseline: dict | None) -> str:
+    lines = [
+        f"bench gate @ groups={current['scale']['groups']} "
+        f"({current['scale']['clauses']} W clauses), "
+        f"calibration {current['calibration_s'] * 1000:.1f}ms",
+    ]
+    for name, normalized in current["sections"].items():
+        raw = current["raw_seconds"][name]
+        line = f"  {name:<20} {raw * 1000:8.1f}ms  (normalized {normalized:8.3f}"
+        if baseline is not None:
+            reference = baseline["sections"].get(name)
+            budget = baseline["budgets"].get(name)
+            if reference:
+                line += f", {reference / normalized:4.2f}x vs recorded reference"
+            if budget is not None:
+                line += f", budget {budget:.3f}"
+        line += ")"
+        lines.append(line)
+    steps = current["apply_steps"]
+    lines.append(
+        f"  apply steps: synthesis={steps['synthesis']} concat={steps['concat']}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE, help="baseline JSON path"
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="re-record the baseline instead of gating"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the raw measurement as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+
+    if args.update:
+        baseline = {
+            "description": (
+                "bench-gate reference measurement; budgets are normalized "
+                "(seconds / calibration) — see scripts/bench_gate.py"
+            ),
+            "scale": current["scale"],
+            "calibration_s": current["calibration_s"],
+            "sections": current["sections"],
+            "budgets": budgets_from_reference(current["sections"]),
+            "apply_steps": current["apply_steps"],
+            "probabilities": current["probabilities"],
+            "structure": current["structure"],
+        }
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(render_report(current, baseline))
+        print(f"baseline recorded at {args.baseline}")
+        return 0
+
+    if args.json:
+        print(json.dumps(current, indent=2, sort_keys=True))
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; run with --update", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+
+    if baseline["scale"] != current["scale"]:
+        print(
+            f"error: baseline scale {baseline['scale']} does not match "
+            f"current scale {current['scale']}; re-record with --update",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(render_report(current, baseline))
+    failures = compare(current, baseline)
+    if failures:
+        print("\nBENCH GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,12 +10,16 @@ Two families of commands share the ``repro`` entry point:
       python -m repro all --groups 12 --points 3 --out results/
 
 * **serving commands** exercise the offline/online split across processes:
-  compile the DBLP workload's MV-index once and save it (``save-index``),
-  cold-start an engine from the artifact and answer a query
-  (``load-index``), or serve a whole batch with the cache-aware session
-  (``serve-batch``)::
+  compile the DBLP workload's MV-index once and save it (``save-index``, or
+  ``build-index --workers N`` for the process-pool sharded build), extend a
+  saved artifact with additional views without recompiling the untouched
+  components (``extend-index``), cold-start an engine from the artifact and
+  answer a query (``load-index``), or serve a whole batch with the
+  cache-aware session (``serve-batch``)::
 
-      python -m repro save-index --groups 8 --out dblp-index.json.gz
+      python -m repro build-index --groups 8 --workers 4 --out dblp-index.json.gz
+      python -m repro extend-index dblp-index.json.gz --groups 8 \\
+          --views V1,V2,V3 --out dblp-extended.json.gz
       python -m repro load-index dblp-index.json.gz \\
           --query "Q(aid) :- Student(aid, y), Advisor(aid, a), Author(a, n), n like '%Advisor 0%'"
       python -m repro serve-batch dblp-index.json.gz --count 10 --repeat 2
@@ -44,7 +48,7 @@ from repro.experiments import (
 )
 
 #: Sub-commands handled by the serving parser rather than the experiment one.
-SERVING_COMMANDS = ("save-index", "load-index", "serve-batch")
+SERVING_COMMANDS = ("save-index", "build-index", "extend-index", "load-index", "serve-batch")
 
 
 def _sweep(args: argparse.Namespace) -> SweepSettings:
@@ -95,17 +99,40 @@ def build_serving_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    save = commands.add_parser(
-        "save-index",
-        help="build the DBLP workload, compile its MV-index, and save the artifact",
+    for name, description in (
+        ("save-index", "build the DBLP workload, compile its MV-index, and save the artifact"),
+        ("build-index", "same as save-index; --workers N shards the build across processes"),
+    ):
+        save = commands.add_parser(name, help=description)
+        save.add_argument("--groups", type=int, default=8, help="synthetic DBLP research groups")
+        save.add_argument("--seed", type=int, default=0, help="generator seed")
+        save.add_argument(
+            "--views", default="V1,V2,V3", help="comma-separated MarkoViews to attach"
+        )
+        save.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="process-pool size for the sharded MV-index build (default: serial)",
+        )
+        save.add_argument(
+            "--out", required=True, help="artifact path (.json, or .json.gz for compression)"
+        )
+
+    extend = commands.add_parser(
+        "extend-index",
+        help="extend a saved artifact with additional MarkoViews (incremental compile)",
     )
-    save.add_argument("--groups", type=int, default=8, help="synthetic DBLP research groups")
-    save.add_argument("--seed", type=int, default=0, help="generator seed")
-    save.add_argument(
-        "--views", default="V1,V2,V3", help="comma-separated MarkoViews to attach"
+    extend.add_argument("artifact", help="artifact written by save-index/build-index")
+    extend.add_argument("--groups", type=int, default=8, help="groups used for the original build")
+    extend.add_argument("--seed", type=int, default=0, help="seed used for the original build")
+    extend.add_argument(
+        "--views",
+        default="V1,V2,V3",
+        help="comma-separated FULL view set after extension (a superset of the saved one)",
     )
-    save.add_argument(
-        "--out", required=True, help="artifact path (.json, or .json.gz for compression)"
+    extend.add_argument(
+        "--out", required=True, help="path for the extended artifact"
     )
 
     load = commands.add_parser(
@@ -141,15 +168,41 @@ def _cmd_save_index(args: argparse.Namespace) -> int:
     from repro.serving import save_engine
 
     views = tuple(name.strip() for name in args.views.split(",") if name.strip())
+    workers = getattr(args, "workers", None)
     workload = build_mvdb(DblpConfig(group_count=args.groups, seed=args.seed), include_views=views)
-    build_seconds, engine = time_call(lambda: MVQueryEngine(workload.mvdb))
+    build_seconds, engine = time_call(lambda: MVQueryEngine(workload.mvdb, workers=workers))
     path = save_engine(engine, args.out)
     index = engine.mv_index
-    print(f"offline build: {build_seconds:.3f}s")
+    label = "offline build" if workers is None else f"offline build ({workers} workers)"
+    print(f"{label}: {build_seconds:.3f}s")
     print(f"possible tuples: {engine.indb.tuple_count()}")
     print(f"W lineage: {engine.w_lineage_size} clauses")
     if index is not None:
         print(f"MV-index: {index.component_count()} components, {index.size} nodes")
+    print(f"artifact: {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_extend_index(args: argparse.Namespace) -> int:
+    from repro.dblp.config import DblpConfig
+    from repro.dblp.workload import build_mvdb
+    from repro.experiments.harness import time_call
+    from repro.serving import load_engine, save_engine
+
+    views = tuple(name.strip() for name in args.views.split(",") if name.strip())
+    engine = load_engine(args.artifact)
+    before = engine.w_lineage_size
+    workload = build_mvdb(DblpConfig(group_count=args.groups, seed=args.seed), include_views=views)
+    extend_seconds, added = time_call(lambda: engine.extend_views(workload.mvdb))
+    path = save_engine(engine, args.out)
+    index = engine.mv_index
+    print(f"incremental extension: {extend_seconds:.3f}s")
+    print(f"W lineage: {before} -> {engine.w_lineage_size} clauses")
+    if index is not None:
+        print(
+            f"MV-index: +{len(added)} components "
+            f"({index.component_count()} total, {index.size} nodes)"
+        )
     print(f"artifact: {path} ({path.stat().st_size} bytes)")
     return 0
 
@@ -222,6 +275,8 @@ def _serving_main(argv: list[str]) -> int:
     args = build_serving_parser().parse_args(argv)
     handlers = {
         "save-index": _cmd_save_index,
+        "build-index": _cmd_save_index,
+        "extend-index": _cmd_extend_index,
         "load-index": _cmd_load_index,
         "serve-batch": _cmd_serve_batch,
     }

@@ -56,6 +56,7 @@ class MVQueryEngine:
         build_index: bool = True,
         permutations: Mapping[str, Sequence[str]] | None = None,
         construction: str = "concat",
+        workers: int | None = None,
     ) -> None:
         self.mvdb: MVDB | None = mvdb
         self.translation: Translation | None = translate(mvdb)
@@ -72,7 +73,11 @@ class MVQueryEngine:
         self.mv_index: MVIndex | None = None
         if build_index and not self.w_lineage.is_false:
             self.mv_index = MVIndex(
-                self.w_lineage, self.probabilities, self.order, construction=construction
+                self.w_lineage,
+                self.probabilities,
+                self.order,
+                construction=construction,
+                workers=workers,
             )
 
         self._p0_w: float | None = None
@@ -108,6 +113,80 @@ class MVQueryEngine:
         engine.mv_index = mv_index
         engine._p0_w = None
         return engine
+
+    # ------------------------------------------------------------ incremental
+    def extend_views(self, mvdb: MVDB) -> list[int]:
+        """Extend this engine (and its MV-index) to a superset of MarkoViews.
+
+        ``mvdb`` must be the *same* base data with additional views attached:
+        the Theorem 1 translation hands out tuple variables sequentially, so
+        attaching views only appends variables, and the check below verifies
+        that every previously indexed tuple keeps its variable id and weight.
+        The lineage of the extended ``W`` is diffed against the indexed one
+        and only the new clauses are compiled —
+        :meth:`repro.mvindex.index.MVIndex.extend` recompiles an existing
+        component only when a new clause connects to it.  Returns the keys
+        of the components added to the index.
+
+        The extended engine answers queries with the same probabilities as a
+        from-scratch build; artifacts saved from it are *not* byte-identical
+        to a rebuild (component keys and appended variable levels differ).
+        """
+        translation = translate(mvdb)
+        new_indb = translation.indb
+        new_tuples = {
+            (relation, row): (weight, variable)
+            for relation, row, weight, variable in new_indb.probabilistic_tuples()
+        }
+        for relation, row, weight, variable in self.indb.probabilistic_tuples():
+            extended = new_tuples.get((relation, row))
+            if extended != (weight, variable):
+                raise InferenceError(
+                    f"cannot extend: tuple {relation}{row} is "
+                    f"{extended} in the extended MVDB but was ({weight}, {variable}); "
+                    "extension requires the same base data with extra views"
+                )
+
+        if translation.has_views:
+            new_w_lineage = new_indb.lineage_of(translation.w_query)
+        else:
+            new_w_lineage = DNF.false()
+        # An indexed clause may legitimately vanish from the extended lineage
+        # when a new view's clause subsumes it (DNF absorption); only clauses
+        # that disappeared *without* a subsuming replacement indicate that a
+        # view was removed or changed.
+        missing = {
+            clause
+            for clause in self.w_lineage.clauses - new_w_lineage.clauses
+            if not any(new_clause <= clause for new_clause in new_w_lineage.clauses)
+        }
+        if missing:
+            raise InferenceError(
+                "cannot extend: the extended MVDB lost clauses of the indexed W "
+                "(views may only be added, not removed or changed)"
+            )
+        new_clauses = new_w_lineage.clauses - self.w_lineage.clauses
+        new_probabilities = new_indb.probabilities()
+
+        added: list[int] = []
+        if self.mv_index is not None and new_clauses:
+            added = self.mv_index.extend(
+                DNF(new_clauses),
+                probabilities=new_probabilities,
+                existing_lineage=self.w_lineage,
+            )
+            self.order = self.mv_index.order
+        elif new_clauses:
+            unseen = {v for clause in new_clauses for v in clause if v not in self.order}
+            self.order = self.order.extend(sorted(unseen))
+
+        self.mvdb = mvdb
+        self.translation = translation
+        self.indb = new_indb
+        self.probabilities = new_probabilities
+        self.w_lineage = new_w_lineage
+        self._p0_w = None
+        return added
 
     # ----------------------------------------------------------- W statistics
     @property

@@ -20,7 +20,6 @@ from typing import Any, Iterable, Sequence
 from repro.db.database import Database
 from repro.errors import InferenceError, SchemaError
 from repro.indb.database import TupleIndependentDatabase
-from repro.indb.weights import CERTAIN_WEIGHT
 from repro.lineage.dnf import DNF
 from repro.lineage.enumeration import MAX_ENUMERATION_VARIABLES
 from repro.core.markoview import MarkoView

@@ -23,15 +23,29 @@ TRUE_CLAUSE: Clause = frozenset()
 
 
 def _absorb(clauses: Iterable[Clause]) -> frozenset[Clause]:
-    """Remove subsumed clauses (absorption law): drop C if some C' ⊆ C exists."""
+    """Remove subsumed clauses (absorption law): drop C if some C' ⊆ C exists.
+
+    Kept clauses are indexed by variable: a subsuming clause shares every
+    one of its variables with the subsumed clause, so only kept clauses
+    mentioning at least one variable of the candidate need a subset check.
+    For the common case of (near-)disjoint clauses — big view lineages —
+    this makes normalization linear instead of quadratic.
+    """
     unique = set(clauses)
     if TRUE_CLAUSE in unique:
         return frozenset({TRUE_CLAUSE})
-    by_size = sorted(unique, key=len)
     kept: list[Clause] = []
-    for clause in by_size:
-        if not any(other <= clause for other in kept):
-            kept.append(clause)
+    by_variable: dict[int, list[int]] = {}
+    for clause in sorted(unique, key=len):
+        candidates: set[int] = set()
+        for variable in clause:
+            candidates.update(by_variable.get(variable, ()))
+        if any(kept[index] <= clause for index in candidates):
+            continue
+        position = len(kept)
+        kept.append(clause)
+        for variable in clause:
+            by_variable.setdefault(variable, []).append(position)
     return frozenset(kept)
 
 

@@ -55,7 +55,16 @@ def _components(clauses: frozenset[Clause]) -> list[list[Clause]]:
 
 
 class ShannonEvaluator:
-    """Memoizing exact evaluator for monotone DNF probabilities."""
+    """Memoizing exact evaluator for monotone DNF probabilities.
+
+    The evaluation is iterative: sub-formulas wait on an explicit stack with
+    a per-formula *plan* (either the independent-component decomposition or
+    the Shannon cofactor pair), so chains of thousands of variables evaluate
+    without approaching the interpreter recursion limit.  The combination
+    arithmetic — the association order of the independent-OR product and the
+    cofactor mix — matches the recursive formulation exactly, keeping
+    results bit-identical.
+    """
 
     def __init__(self, probabilities: Mapping[int, float]) -> None:
         self._probabilities = probabilities
@@ -66,39 +75,78 @@ class ShannonEvaluator:
         return self._probability(formula.clauses)
 
     # ----------------------------------------------------------------- internals
-    def _probability(self, clauses: frozenset[Clause]) -> float:
-        if not clauses:
-            return 0.0
-        if frozenset() in clauses:
-            return 1.0
-        cached = self._cache.get(clauses)
-        if cached is not None:
-            return cached
+    def _plan(
+        self, clauses: frozenset[Clause]
+    ) -> tuple[float | None, list[frozenset[Clause]]]:
+        """Decompose a formula: components, or Shannon cofactors.
+
+        Returns ``(probability, children)``: for the component case the
+        probability slot is ``None`` and the children are the component
+        clause sets; for the Shannon case it holds the branch variable's
+        probability and the children are the positive/negative cofactors.
+        """
         components = _components(clauses)
         if len(components) > 1:
-            # Independent OR: P(∨ Ci) = 1 - ∏ (1 - P(Ci)).
-            complement = 1.0
-            for component in components:
-                complement *= 1.0 - self._probability(frozenset(component))
-            result = 1.0 - complement
-        else:
-            result = self._shannon(clauses)
-        self._cache[clauses] = result
-        return result
-
-    def _shannon(self, clauses: frozenset[Clause]) -> float:
+            return None, [frozenset(component) for component in components]
         counts: Counter[int] = Counter()
         for clause in clauses:
             counts.update(clause)
         # Most frequent variable, ties broken by smallest id: deterministic
         # regardless of set iteration order (see _components).
         variable = min(counts, key=lambda candidate: (-counts[candidate], candidate))
-        probability = self._probabilities[variable]
         positive = DNF(clauses).condition(variable, True).clauses
         negative = DNF(clauses).condition(variable, False).clauses
-        return probability * self._probability(positive) + (1.0 - probability) * self._probability(
-            negative
-        )
+        return self._probabilities[variable], [positive, negative]
+
+    def _probability(self, clauses: frozenset[Clause]) -> float:
+        if not clauses:
+            return 0.0
+        if frozenset() in clauses:
+            return 1.0
+        cache = self._cache
+        cached = cache.get(clauses)
+        if cached is not None:
+            return cached
+
+        plans: dict[frozenset[Clause], tuple[float | None, list[frozenset[Clause]]]] = {}
+        stack: list[frozenset[Clause]] = [clauses]
+        while stack:
+            state = stack[-1]
+            if state in cache:
+                stack.pop()
+                continue
+            plan = plans.get(state)
+            if plan is None:
+                plan = self._plan(state)
+                plans[state] = plan
+            probability, children = plan
+            pending = False
+            values: list[float] = []
+            for child in children:
+                if not child:
+                    values.append(0.0)
+                elif frozenset() in child:
+                    values.append(1.0)
+                else:
+                    value = cache.get(child)
+                    if value is None:
+                        stack.append(child)
+                        pending = True
+                    else:
+                        values.append(value)
+            if pending:
+                continue
+            if probability is None:
+                # Independent OR: P(∨ Ci) = 1 - ∏ (1 - P(Ci)).
+                complement = 1.0
+                for value in values:
+                    complement *= 1.0 - value
+                cache[state] = 1.0 - complement
+            else:
+                cache[state] = probability * values[0] + (1.0 - probability) * values[1]
+            del plans[state]
+            stack.pop()
+        return cache[clauses]
 
 
 def shannon_probability(formula: DNF, probabilities: Mapping[int, float]) -> float:

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Mapping
 
 from repro.lineage.dnf import DNF
 from repro.mln.model import MarkovLogicNetwork

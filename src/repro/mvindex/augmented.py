@@ -18,6 +18,14 @@ the query's first level.  Both annotations are derived quantities: they are
 deterministically) when an index is restored, which keeps them consistent
 with the probabilities supplied at load time — see
 :meth:`repro.mvindex.index.MVIndex.from_state`.
+
+Construction is allocation-lean: only ``prob_under`` and the per-level node
+index are computed eagerly (they are what the intersection algorithms need);
+``reachability`` is derived lazily on first access, so building an MV-index
+over thousands of components never pays for it.  A caller that already holds
+a ``level → probability`` map (the MV-index shares one across all of its
+components) can pass it as ``probability_of_level`` to skip re-keying the
+full probability dictionary per component.
 """
 
 from __future__ import annotations
@@ -37,40 +45,82 @@ class AugmentedObdd:
         root: int,
         order: VariableOrder,
         probabilities: Mapping[int, float],
+        probability_of_level: Mapping[int, float] | None = None,
     ) -> None:
         self.manager = manager
         self.root = root
         self.order = order
-        #: probability of each tuple variable, keyed by OBDD level.
-        self.probability_of_level: dict[int, float] = order.probabilities_by_level(probabilities)
+        #: probability of each tuple variable, keyed by OBDD level.  When no
+        #: shared map is supplied, only the levels actually appearing in this
+        #: OBDD are keyed (annotating needs nothing else).
+        self.probability_of_level: Mapping[int, float]
         self.prob_under: dict[int, float] = {ZERO: 0.0, ONE: 1.0}
-        self.reachability: dict[int, float] = {}
         self.nodes_by_level: dict[int, list[int]] = {}
-        self._annotate()
+        self._reachability: dict[int, float] | None = None
+        self._annotate(probabilities, probability_of_level)
 
     # ------------------------------------------------------------------ build
-    def _annotate(self) -> None:
+    def _annotate(
+        self,
+        probabilities: Mapping[int, float],
+        probability_of_level: Mapping[int, float] | None,
+    ) -> None:
         manager = self.manager
+        levels = manager._level
+        lows = manager._low
+        highs = manager._high
         nodes = manager.reachable_nodes(self.root)
+        nodes.sort(key=levels.__getitem__, reverse=True)
+        self._nodes_descending = nodes
+        if probability_of_level is None:
+            variable_at = self.order.variable_at
+            probability_of_level = {
+                level: probabilities[variable_at(level)]
+                for level in {levels[node] for node in nodes}
+            }
+        self.probability_of_level = probability_of_level
         # probUnder: children before parents (process by decreasing level).
-        for node in sorted(nodes, key=manager.level, reverse=True):
-            probability = self.probability_of_level[manager.level(node)]
-            self.prob_under[node] = (1.0 - probability) * self.prob_under[
-                manager.low(node)
-            ] + probability * self.prob_under[manager.high(node)]
-            self.nodes_by_level.setdefault(manager.level(node), []).append(node)
-        # reachability: parents before children (process by increasing level).
-        reach: dict[int, float] = {node: 0.0 for node in nodes}
-        reach[ZERO] = 0.0
-        reach[ONE] = 0.0
-        if self.root in reach:
-            reach[self.root] = 1.0
-        for node in sorted(nodes, key=manager.level):
-            probability = self.probability_of_level[manager.level(node)]
-            mass = reach[node]
-            reach[manager.low(node)] = reach.get(manager.low(node), 0.0) + mass * (1.0 - probability)
-            reach[manager.high(node)] = reach.get(manager.high(node), 0.0) + mass * probability
-        self.reachability = reach
+        prob_under = self.prob_under
+        nodes_by_level = self.nodes_by_level
+        for node in nodes:
+            level = levels[node]
+            probability = probability_of_level[level]
+            prob_under[node] = (1.0 - probability) * prob_under[
+                lows[node]
+            ] + probability * prob_under[highs[node]]
+            bucket = nodes_by_level.get(level)
+            if bucket is None:
+                nodes_by_level[level] = [node]
+            else:
+                bucket.append(node)
+
+    @property
+    def reachability(self) -> dict[int, float]:
+        """Path-mass annotation, derived lazily on first access.
+
+        The intersection algorithms never read it (they only need
+        ``prob_under``), so index construction skips it; the worked example
+        of Sect. 4.1 (:meth:`conjunction_probability_at_level`) triggers the
+        one-time linear derivation.
+        """
+        if self._reachability is None:
+            manager = self.manager
+            probability_of_level = self.probability_of_level
+            # reachability: parents before children (process by increasing level).
+            nodes = self._nodes_descending[::-1]
+            reach: dict[int, float] = {node: 0.0 for node in nodes}
+            reach[ZERO] = 0.0
+            reach[ONE] = 0.0
+            if self.root in reach:
+                reach[self.root] = 1.0
+            for node in nodes:
+                probability = probability_of_level[manager.level(node)]
+                mass = reach[node]
+                low, high = manager.low(node), manager.high(node)
+                reach[low] = reach.get(low, 0.0) + mass * (1.0 - probability)
+                reach[high] = reach.get(high, 0.0) + mass * probability
+            self._reachability = reach
+        return self._reachability
 
     # -------------------------------------------------------------- interface
     @property
@@ -83,12 +133,12 @@ class AugmentedObdd:
     @property
     def size(self) -> int:
         """Number of internal nodes."""
-        return self.manager.size(self.root)
+        return len(self._nodes_descending)
 
     @property
     def width(self) -> int:
         """Maximum number of nodes on a single level."""
-        return self.manager.width(self.root)
+        return max((len(bucket) for bucket in self.nodes_by_level.values()), default=0)
 
     def levels(self) -> set[int]:
         """Levels (tuple variables) mentioned by the OBDD."""
@@ -106,7 +156,8 @@ class AugmentedObdd:
         ``P(X ∧ Φ) = p · Σ_j reachability(u_j) · probUnder(v_j)``.
         """
         probability = self.probability_of_level[level]
+        reachability = self.reachability
         total = 0.0
         for node in self.nodes_at_level(level):
-            total += self.reachability[node] * self.prob_under[self.manager.high(node)]
+            total += reachability[node] * self.prob_under[self.manager.high(node)]
         return probability * total

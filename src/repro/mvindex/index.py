@@ -11,17 +11,34 @@ independent component of the lineage of ``W`` — plus two lookup structures:
 Each component OBDD stores ``¬W_k`` (the negation is what Theorem 1's
 evaluation needs), and the index pre-computes ``P0(¬W_k)`` for every
 component so that queries only pay for the components their lineage touches.
+
+Construction scales out: because the components are variable-disjoint by
+definition, they can be compiled in parallel.  ``MVIndex(..., workers=N)``
+shards the component list across a process pool; every worker compiles its
+shard in a fresh manager, exports the stable children-first node tables
+(:meth:`repro.obdd.manager.ObddManager.export_nodes`), and the parent
+replays the shards — in deterministic component order — into the shared
+manager via :meth:`repro.obdd.manager.ObddManager.import_into`.  Since the
+serialized artifact re-exports canonically from the component roots, a
+parallel build produces a byte-identical artifact to the serial one.
+
+An existing index can also grow incrementally: :meth:`MVIndex.extend`
+compiles only the clauses of newly attached views into the shared manager,
+re-using every untouched component (see
+:meth:`repro.core.engine.MVQueryEngine.extend_views` for the engine-level
+workflow).
 """
 
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import CompilationError
-from repro.lineage.dnf import DNF
-from repro.obdd.construct import connected_components, build_obdd
+from repro.lineage.dnf import DNF, Clause
+from repro.obdd.construct import build_component_root, connected_components
 from repro.obdd.manager import ONE, ObddManager
 from repro.obdd.order import VariableOrder
 from repro.mvindex.augmented import AugmentedObdd
@@ -43,6 +60,25 @@ class IndexedComponent:
         return self.obdd.probability
 
 
+def _compile_shard(
+    clause_lists: Sequence[Sequence[Clause]],
+    order_variables: Sequence[int],
+    construction: str,
+) -> dict[str, list]:
+    """Process-pool worker: compile a shard of components in a fresh manager.
+
+    Returns the stable children-first export of the *negated* component
+    roots, in shard order; the parent replays it into the shared manager.
+    """
+    order = VariableOrder(order_variables)
+    manager = ObddManager()
+    roots = [
+        manager.negate(build_component_root(manager, clauses, order, construction))
+        for clauses in clause_lists
+    ]
+    return manager.export_nodes(roots)
+
+
 class MVIndex:
     """Offline-compiled index over the MarkoView query ``W``."""
 
@@ -52,43 +88,205 @@ class MVIndex:
         probabilities: Mapping[int, float],
         order: VariableOrder,
         construction: str = "concat",
+        workers: int | None = None,
     ) -> None:
         self.order = order
         self.manager = ObddManager()
         self.probabilities = dict(probabilities)
+        self.construction = construction
         self.components: dict[int, IndexedComponent] = {}
         self._component_of_variable: dict[int, int] = {}
+        #: Shared ``level → probability`` map, computed once and reused by
+        #: every component annotation (re-keying the full probability
+        #: dictionary per component used to dominate construction time).
+        self._probability_of_level: dict[int, float] = order.probabilities_by_level(
+            self.probabilities
+        )
         #: Serializes the only query-time mutation of the shared manager (the
         #: interleaved-component fallback), making concurrent reads safe.
         self._lock = threading.RLock()
-        self._build(w_lineage, construction)
+        self._build(w_lineage, construction, workers)
 
     # ------------------------------------------------------------------ build
-    def _build(self, w_lineage: DNF, construction: str) -> None:
+    def _build(self, w_lineage: DNF, construction: str, workers: int | None) -> None:
         if w_lineage.is_true:
             raise CompilationError(
                 "the view query W is certainly true: every possible world violates a "
                 "MarkoView, so the MVDB distribution is undefined (P0(¬W) = 0)"
             )
-        for key, clauses in enumerate(connected_components(w_lineage.clauses)):
-            component_dnf = DNF(clauses)
-            compiled = build_obdd(
-                component_dnf, self.order, manager=self.manager, method=construction
+        components = connected_components(w_lineage.clauses)
+        if workers is not None and workers > 1 and len(components) > 1:
+            negated_roots = self._compile_components_parallel(
+                components, construction, workers
             )
-            negated_root = self.manager.negate(compiled.root)
-            augmented = AugmentedObdd(self.manager, negated_root, self.order, self.probabilities)
-            variables = component_dnf.variables()
-            levels = [self.order.level_of(v) for v in variables]
-            component = IndexedComponent(
-                key=key,
-                obdd=augmented,
-                min_level=min(levels),
-                max_level=max(levels),
-                variables=variables,
+        else:
+            manager = self.manager
+            order = self.order
+            negated_roots = [
+                manager.negate(build_component_root(manager, clauses, order, construction))
+                for clauses in components
+            ]
+        for key, (clauses, negated_root) in enumerate(zip(components, negated_roots)):
+            self._register(key, frozenset().union(*clauses), negated_root)
+
+    def _compile_components_parallel(
+        self,
+        components: list[list[Clause]],
+        construction: str,
+        workers: int,
+    ) -> list[int]:
+        """Sharded build: compile component shards in a process pool.
+
+        Components are dealt round-robin across ``min(workers, len)`` shards
+        for balance; the shard exports are replayed into the shared manager
+        in shard order, and the resulting roots are re-assembled into the
+        original component order, so the registered index is exactly the one
+        a serial build produces (up to internal node ids, which the
+        canonical artifact export normalizes away).
+        """
+        shard_count = min(workers, len(components))
+        shard_indices = [
+            list(range(start, len(components), shard_count))
+            for start in range(shard_count)
+        ]
+        order_variables = self.order.variables()
+        negated_roots: list[int] = [ONE] * len(components)
+        with ProcessPoolExecutor(max_workers=shard_count) as pool:
+            futures = [
+                pool.submit(
+                    _compile_shard,
+                    [components[index] for index in indices],
+                    order_variables,
+                    construction,
+                )
+                for indices in shard_indices
+            ]
+            for indices, future in zip(shard_indices, futures):
+                exported = future.result()
+                roots = self.manager.import_into(exported["nodes"], exported["roots"])
+                for index, root in zip(indices, roots):
+                    negated_roots[index] = root
+        return negated_roots
+
+    def _register(self, key: int, variables: Iterable[int], negated_root: int) -> None:
+        """Wrap a compiled (negated) component root and wire the lookup maps."""
+        augmented = AugmentedObdd(
+            self.manager,
+            negated_root,
+            self.order,
+            self.probabilities,
+            probability_of_level=self._probability_of_level,
+        )
+        level_of = self.order.level_map
+        levels = [level_of[variable] for variable in variables]
+        component = IndexedComponent(
+            key=key,
+            obdd=augmented,
+            min_level=min(levels),
+            max_level=max(levels),
+            variables=frozenset(variables),
+        )
+        self.components[key] = component
+        for variable in variables:
+            self._component_of_variable[variable] = key
+
+    # ------------------------------------------------------------ incremental
+    def extend(
+        self,
+        new_lineage: DNF,
+        probabilities: Mapping[int, float] | None = None,
+        existing_lineage: DNF | None = None,
+    ) -> list[int]:
+        """Incrementally compile new view clauses into this index.
+
+        ``new_lineage`` holds only the *new* clauses (the engine diffs the
+        full lineage of the extended view set against the indexed one).
+        Variables unseen so far are appended to the variable order — the
+        existing component OBDDs stay valid — and their probabilities are
+        supplied via ``probabilities``.  New components that share variables
+        with already-indexed components cannot be compiled independently;
+        pass ``existing_lineage`` (the clause set the index was built from)
+        and the affected components are recompiled together with the new
+        clauses.  Returns the keys of the components added.
+
+        The extended index answers queries with the same probabilities as a
+        from-scratch build (component OBDDs are canonical per order), but
+        the artifact is not guaranteed byte-identical to a rebuild: appended
+        variables and recompiled components change level and key layout.
+
+        Every mutation happens under the index lock, but in-flight queries
+        that already read the component maps are not serialized against it —
+        quiesce serving traffic before extending.
+        """
+        if new_lineage.is_true:
+            raise CompilationError(
+                "the extended view query W is certainly true (P0(¬W) = 0)"
             )
-            self.components[key] = component
-            for variable in variables:
-                self._component_of_variable[variable] = key
+        if new_lineage.is_false or not new_lineage.clauses:
+            return []
+        with self._lock:
+            if probabilities:
+                for variable, probability in probabilities.items():
+                    known = self.probabilities.get(variable)
+                    if known is not None and known != probability:
+                        raise CompilationError(
+                            f"cannot change the probability of indexed variable "
+                            f"{variable}; rebuild the index instead"
+                        )
+                self.probabilities.update(probabilities)
+
+            new_variables: set[int] = set()
+            for clause in new_lineage.clauses:
+                new_variables |= clause
+            unseen = sorted(v for v in new_variables if v not in self.order)
+            if unseen:
+                missing = [v for v in unseen if v not in self.probabilities]
+                if missing:
+                    raise CompilationError(
+                        f"no probabilities supplied for new variables {missing[:5]}"
+                    )
+                self.order = self.order.extend(unseen)
+            self._probability_of_level = self.order.probabilities_by_level(
+                self.probabilities
+            )
+
+            pool: list[Clause] = list(new_lineage.clauses)
+            affected = {
+                self._component_of_variable[variable]
+                for variable in new_variables
+                if variable in self._component_of_variable
+            }
+            if affected:
+                if existing_lineage is None:
+                    raise CompilationError(
+                        "new clauses share variables with existing components; pass "
+                        "existing_lineage so the affected components can be recompiled"
+                    )
+                affected_variables: set[int] = set()
+                for key in affected:
+                    affected_variables |= self.components[key].variables
+                pool.extend(
+                    clause
+                    for clause in existing_lineage.clauses
+                    if clause & affected_variables
+                )
+                for key in affected:
+                    component = self.components.pop(key)
+                    for variable in component.variables:
+                        del self._component_of_variable[variable]
+
+            next_key = max(self.components, default=-1) + 1
+            added: list[int] = []
+            for clauses in connected_components(pool):
+                root = build_component_root(
+                    self.manager, clauses, self.order, self.construction
+                )
+                self._register(
+                    next_key, frozenset().union(*clauses), self.manager.negate(root)
+                )
+                added.append(next_key)
+                next_key += 1
+            return added
 
     # ---------------------------------------------------------- serialization
     def export_state(self) -> dict[str, Any]:
@@ -121,6 +319,7 @@ class MVIndex:
         state: Mapping[str, Any],
         probabilities: Mapping[int, float],
         order: VariableOrder,
+        construction: str = "concat",
     ) -> "MVIndex":
         """Rebuild an index from :meth:`export_state` output.
 
@@ -132,25 +331,16 @@ class MVIndex:
         index.order = order
         index.manager = ObddManager.import_nodes(state["nodes"])
         index.probabilities = dict(probabilities)
+        index.construction = construction
         index.components = {}
         index._component_of_variable = {}
+        index._probability_of_level = order.probabilities_by_level(index.probabilities)
         index._lock = threading.RLock()
         for entry in state["components"]:
-            variables = frozenset(entry["variables"])
+            variables = entry["variables"]
             if not variables:
                 raise CompilationError("corrupt MV-index state: component without variables")
-            augmented = AugmentedObdd(index.manager, entry["root"], order, index.probabilities)
-            levels = [order.level_of(variable) for variable in variables]
-            component = IndexedComponent(
-                key=entry["key"],
-                obdd=augmented,
-                min_level=min(levels),
-                max_level=max(levels),
-                variables=variables,
-            )
-            index.components[component.key] = component
-            for variable in variables:
-                index._component_of_variable[variable] = component.key
+            index._register(entry["key"], variables, entry["root"])
         return index
 
     # ------------------------------------------------------------- statistics
@@ -218,22 +408,24 @@ class MVIndex:
 
         Components with non-overlapping level ranges are chained by
         concatenation (replace the 1-terminal of the earlier component by the
-        root of the next), which is linear; interleaving ranges fall back to
-        ``apply``.
+        root of the next), which is linear; interleaving ranges are conjoined
+        with one multi-way apply instead of pairwise synthesis.
         """
         if not components:
             return ONE
         with self._lock:
             ordered = sorted(components, key=lambda c: c.min_level)
-            root = ordered[-1].obdd.root
-            previous_min = ordered[-1].min_level
-            for component in reversed(ordered[:-1]):
-                if component.max_level < previous_min:
+            if all(
+                previous.max_level < current.min_level
+                for previous, current in zip(ordered, ordered[1:])
+            ):
+                root = ordered[-1].obdd.root
+                for component in reversed(ordered[:-1]):
                     root = self.manager.substitute_terminal(component.obdd.root, ONE, root)
-                else:
-                    root = self.manager.apply_and(component.obdd.root, root)
-                previous_min = min(previous_min, component.min_level)
-            return root
+                return root
+            return self.manager.apply_and_multi(
+                component.obdd.root for component in ordered
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -12,13 +12,17 @@ OBDDs of ``¬W``:
   expansion; whenever the query OBDD reaches its 1-terminal, the pre-computed
   ``probUnder`` annotation of the index node closes the remaining sub-OBDD in
   constant time (the augmentation of Sect. 4.1).
+
+Every traversal here is *iterative* — an explicit stack over
+``(query node, chain position, index node)`` states — so arbitrarily deep
+index OBDDs are evaluated without recursion.  The old implementation
+recursed to the depth of the OBDDs and had to raise (and guard, across
+threads) the process-global ``sys.setrecursionlimit``; the iterative kernel
+made all of that machinery obsolete.
 """
 
 from __future__ import annotations
 
-import sys
-import threading
-from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -29,38 +33,6 @@ from repro.mvindex.index import IndexedComponent, MVIndex
 from repro.obdd.construct import build_obdd
 from repro.obdd.manager import ONE, ZERO, ObddManager
 from repro.obdd.order import VariableOrder
-
-
-#: Guards the process-global recursion limit: concurrent traversals (e.g. a
-#: parallel ``query_batch``) must not restore the limit while another thread
-#: is still deep in a recursive walk.
-_RECURSION_GUARD = threading.Lock()
-_recursion_users = 0
-_saved_recursion_limit = 0
-
-
-@contextmanager
-def _recursion_limit(limit: int):
-    """Raise the recursion limit for the duration of a traversal.
-
-    Re-entrant and thread-safe: the limit is raised when the first user
-    enters and only restored when the last user leaves, so one thread
-    finishing cannot pull the limit out from under another thread that is
-    still recursing.
-    """
-    global _recursion_users, _saved_recursion_limit
-    with _RECURSION_GUARD:
-        if _recursion_users == 0:
-            _saved_recursion_limit = sys.getrecursionlimit()
-        _recursion_users += 1
-        sys.setrecursionlimit(max(sys.getrecursionlimit(), limit))
-    try:
-        yield
-    finally:
-        with _RECURSION_GUARD:
-            _recursion_users -= 1
-            if _recursion_users == 0:
-                sys.setrecursionlimit(_saved_recursion_limit)
 
 
 @dataclass
@@ -157,43 +129,82 @@ def mv_intersect(
         if variable in order
     }
 
-    memo: dict[tuple[int, int, int], float] = {}
+    chain_count = len(chain)
+    chain_roots = [chain.obdd(position).root for position in range(chain_count)]
+    chain_under = [chain.obdd(position).prob_under for position in range(chain_count)]
+    suffix = chain.suffix
+    q_under = query.prob_under
 
-    def walk(q_node: int, chain_index: int, w_node: int) -> float:
-        if q_node == ZERO or w_node == ZERO:
-            return 0.0
-        if w_node == ONE:
-            if chain_index + 1 < len(chain):
-                return walk(q_node, chain_index + 1, chain.obdd(chain_index + 1).root)
-            return query.prob_under[q_node] if q_node != ONE else 1.0
-        if q_node == ONE:
-            # The augmentation shortcut: close the remaining index sub-OBDD and
-            # the untouched suffix of the chain with pre-computed quantities.
-            return chain.obdd(chain_index).prob_under[w_node] * chain.suffix[chain_index + 1]
-        key = (q_node, chain_index, w_node)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
-        stats.pair_expansions += 1
+    def resolve(q_node: int, chain_index: int, w_node: int):
+        """Normalise a state: advance past exhausted components, detect leaves."""
+        while True:
+            if q_node == ZERO or w_node == ZERO:
+                return 0.0
+            if w_node == ONE:
+                if chain_index + 1 < chain_count:
+                    chain_index += 1
+                    w_node = chain_roots[chain_index]
+                    continue
+                return q_under[q_node] if q_node != ONE else 1.0
+            if q_node == ONE:
+                # The augmentation shortcut: close the remaining index
+                # sub-OBDD and the untouched suffix of the chain with
+                # pre-computed quantities.
+                return chain_under[chain_index][w_node] * suffix[chain_index + 1]
+            return (q_node, chain_index, w_node)
+
+    memo: dict[tuple[int, int, int], float] = {}
+    memo_get = memo.get
+    initial = resolve(query.root, 0, chain_roots[0])
+    if type(initial) is float:
+        return initial * untouched
+
+    expansions = 0
+    stack: list[tuple[int, int, int]] = [initial]
+    while stack:
+        state = stack[-1]
+        if state in memo:
+            stack.pop()
+            continue
+        q_node, chain_index, w_node = state
         q_level = q_manager.level(q_node)
         w_level = w_manager.level(w_node)
-        level = min(q_level, w_level)
+        if q_level <= w_level:
+            level = q_level
+            q_low, q_high = q_manager.low(q_node), q_manager.high(q_node)
+        else:
+            level = w_level
+            q_low, q_high = q_node, q_node
+        if w_level <= q_level:
+            w_low, w_high = w_manager.low(w_node), w_manager.high(w_node)
+        else:
+            w_low, w_high = w_node, w_node
+        low_state = resolve(q_low, chain_index, w_low)
+        high_state = resolve(q_high, chain_index, w_high)
+        pending = False
+        if type(low_state) is not float:
+            low_value = memo_get(low_state)
+            if low_value is None:
+                stack.append(low_state)
+                pending = True
+            else:
+                low_state = low_value
+        if type(high_state) is not float:
+            high_value = memo_get(high_state)
+            if high_value is None:
+                stack.append(high_state)
+                pending = True
+            else:
+                high_state = high_value
+        if pending:
+            continue
         probability = probability_of_level[level]
-        q_low, q_high = (
-            (q_manager.low(q_node), q_manager.high(q_node)) if q_level == level else (q_node, q_node)
-        )
-        w_low, w_high = (
-            (w_manager.low(w_node), w_manager.high(w_node)) if w_level == level else (w_node, w_node)
-        )
-        result = (1.0 - probability) * walk(q_low, chain_index, w_low) + probability * walk(
-            q_high, chain_index, w_high
-        )
-        memo[key] = result
-        return result
+        memo[state] = (1.0 - probability) * low_state + probability * high_state
+        expansions += 1
+        stack.pop()
 
-    with _recursion_limit(200_000):
-        touched_probability = walk(query.root, 0, chain.obdd(0).root)
-    return touched_probability * untouched
+    stats.pair_expansions += expansions
+    return memo[initial] * untouched
 
 
 def _synthesised_intersect(
@@ -204,10 +215,11 @@ def _synthesised_intersect(
 ) -> float:
     """Fallback for interleaving components: conjoin ``¬W_k`` explicitly.
 
-    The conjunction of the touched components is materialised (by
-    concatenation when possible, by ``apply`` otherwise), ``probUnder`` is
-    computed lazily for it, and the standard pairwise Shannon traversal is
-    run against the query OBDD.
+    The conjunction of the touched components is materialised with one
+    multi-way apply (:meth:`repro.mvindex.index.MVIndex.conjoined_not_w_root`),
+    ``probUnder`` is computed for it, and the standard pairwise Shannon
+    traversal — iterative, like everything else — is run against the query
+    OBDD.
     """
     w_manager = index.manager
     q_manager = query.manager
@@ -220,48 +232,67 @@ def _synthesised_intersect(
         if variable in query.order
     }
 
-    prob_under_cache: dict[int, float] = {ZERO: 0.0, ONE: 1.0}
+    prob_under = w_manager.prob_under_map(w_root, probability_of_level)
+    q_under = query.prob_under
 
-    def prob_under(node: int) -> float:
-        cached = prob_under_cache.get(node)
-        if cached is not None:
-            return cached
-        probability = probability_of_level[w_manager.level(node)]
-        result = (1.0 - probability) * prob_under(w_manager.low(node)) + probability * prob_under(
-            w_manager.high(node)
-        )
-        prob_under_cache[node] = result
-        return result
-
-    memo: dict[tuple[int, int], float] = {}
-
-    def walk(q_node: int, w_node: int) -> float:
+    def resolve(q_node: int, w_node: int):
         if q_node == ZERO or w_node == ZERO:
             return 0.0
         if q_node == ONE:
-            return prob_under(w_node)
+            return prob_under[w_node]
         if w_node == ONE:
-            return query.prob_under[q_node]
-        key = (q_node, w_node)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
+            return q_under[q_node]
+        return (q_node, w_node)
+
+    memo: dict[tuple[int, int], float] = {}
+    memo_get = memo.get
+    initial = resolve(query.root, w_root)
+    if type(initial) is float:
+        return initial
+
+    stack: list[tuple[int, int]] = [initial]
+    while stack:
+        state = stack[-1]
+        if state in memo:
+            stack.pop()
+            continue
+        q_node, w_node = state
         q_level = q_manager.level(q_node)
         w_level = w_manager.level(w_node)
-        level = min(q_level, w_level)
+        if q_level <= w_level:
+            level = q_level
+            q_low, q_high = q_manager.low(q_node), q_manager.high(q_node)
+        else:
+            level = w_level
+            q_low, q_high = q_node, q_node
+        if w_level <= q_level:
+            w_low, w_high = w_manager.low(w_node), w_manager.high(w_node)
+        else:
+            w_low, w_high = w_node, w_node
+        low_state = resolve(q_low, w_low)
+        high_state = resolve(q_high, w_high)
+        pending = False
+        if type(low_state) is not float:
+            low_value = memo_get(low_state)
+            if low_value is None:
+                stack.append(low_state)
+                pending = True
+            else:
+                low_state = low_value
+        if type(high_state) is not float:
+            high_value = memo_get(high_state)
+            if high_value is None:
+                stack.append(high_state)
+                pending = True
+            else:
+                high_state = high_value
+        if pending:
+            continue
         probability = probability_of_level[level]
-        q_low, q_high = (
-            (q_manager.low(q_node), q_manager.high(q_node)) if q_level == level else (q_node, q_node)
-        )
-        w_low, w_high = (
-            (w_manager.low(w_node), w_manager.high(w_node)) if w_level == level else (w_node, w_node)
-        )
-        result = (1.0 - probability) * walk(q_low, w_low) + probability * walk(q_high, w_high)
-        memo[key] = result
-        return result
+        memo[state] = (1.0 - probability) * low_state + probability * high_state
+        stack.pop()
 
-    with _recursion_limit(200_000):
-        return walk(query.root, w_root)
+    return memo[initial]
 
 
 def p0_q_or_w(

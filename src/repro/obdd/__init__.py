@@ -8,6 +8,7 @@ from repro.obdd.analysis import (
 )
 from repro.obdd.construct import (
     CompiledObdd,
+    build_component_root,
     build_obdd,
     clause_obdd,
     concatenate_dnf,
@@ -24,6 +25,7 @@ __all__ = [
     "TERMINAL_LEVEL",
     "VariableOrder",
     "ZERO",
+    "build_component_root",
     "build_obdd",
     "clause_obdd",
     "concatenate_dnf",

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.query.cq import ConjunctiveQuery
-from repro.query.terms import Variable, is_variable
+from repro.query.terms import Variable
 from repro.query.ucq import UCQ, as_ucq
 
 

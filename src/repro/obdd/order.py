@@ -43,6 +43,17 @@ class VariableOrder:
         except KeyError as exc:
             raise CompilationError(f"variable {variable} is not in the order") from exc
 
+    @property
+    def level_map(self) -> Mapping[int, int]:
+        """The ``variable → level`` mapping itself, for hot-path bulk lookups.
+
+        Callers must treat the mapping as read-only; unlike
+        :meth:`level_of` a missing variable surfaces as a plain
+        ``KeyError``, so validate membership first (as
+        :func:`repro.obdd.construct.build_obdd` does).
+        """
+        return self._level_of
+
     def variable_at(self, level: int) -> int:
         """Tuple variable placed at ``level``."""
         return self._var_of[level]

@@ -138,7 +138,12 @@ def _restore_engine(state: Mapping[str, Any]) -> MVQueryEngine:
     w_lineage = DNF(clauses) if clauses else DNF.false()
     mv_index = None
     if state["index"] is not None:
-        mv_index = MVIndex.from_state(state["index"], indb.probabilities(), order)
+        mv_index = MVIndex.from_state(
+            state["index"],
+            indb.probabilities(),
+            order,
+            construction=state.get("construction", "concat"),
+        )
     return MVQueryEngine.from_parts(
         indb,
         w_lineage,
@@ -158,9 +163,15 @@ def save_engine(engine: MVQueryEngine, path: str | Path) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = json.dumps(engine_state(engine), separators=(",", ":"))
     if path.suffix == ".gz":
-        # mtime=0 keeps the artifact byte-stable for identical engines.
-        with gzip.GzipFile(path, "wb", mtime=0) as handle:
-            handle.write(payload.encode("utf-8"))
+        # mtime=0 and an empty FNAME header field keep the artifact bytes a
+        # pure function of the engine state: identical engines produce
+        # identical artifacts regardless of when or under what file name
+        # they are saved (the parallel-build equivalence test relies on it).
+        with path.open("wb") as raw:
+            with gzip.GzipFile(
+                filename="", fileobj=raw, mode="wb", mtime=0
+            ) as handle:
+                handle.write(payload.encode("utf-8"))
     else:
         path.write_text(payload, encoding="utf-8")
     return path

@@ -29,7 +29,7 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Sequence
+from typing import Any, Hashable, Sequence
 
 from repro.core.engine import MVQueryEngine
 from repro.lineage.dnf import DNF

@@ -57,6 +57,79 @@ class TestServingCli:
         assert "round 1 (cold)" in output and "round 2 (warm)" in output
         assert "1 relational pass(es)" in output
 
+    def test_build_index_workers_byte_identical(self, capsys, tmp_path):
+        serial = tmp_path / "serial.json.gz"
+        parallel = tmp_path / "parallel.json.gz"
+        assert main(["build-index", "--groups", "4", "--out", str(serial)]) == 0
+        assert (
+            main(
+                ["build-index", "--groups", "4", "--workers", "2", "--out", str(parallel)]
+            )
+            == 0
+        )
+        assert "2 workers" in capsys.readouterr().out
+        assert parallel.read_bytes() == serial.read_bytes()
+
+    def test_extend_index_round_trip(self, capsys, tmp_path):
+        partial = tmp_path / "partial.json.gz"
+        extended = tmp_path / "extended.json.gz"
+        assert (
+            main(["build-index", "--groups", "4", "--views", "V1,V2", "--out", str(partial)])
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "extend-index",
+                    str(partial),
+                    "--groups",
+                    "4",
+                    "--views",
+                    "V1,V2,V3",
+                    "--out",
+                    str(extended),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "incremental extension" in output
+        assert (
+            main(
+                [
+                    "load-index",
+                    str(extended),
+                    "--query",
+                    "Q(aid) :- Student(aid, y), Advisor(aid, a), Author(a, n), "
+                    "n like '%Advisor 0%'",
+                ]
+            )
+            == 0
+        )
+        assert "query answered" in capsys.readouterr().out
+
+    def test_extend_index_rejects_mismatched_base(self, capsys, tmp_path):
+        partial = tmp_path / "partial.json.gz"
+        assert (
+            main(["build-index", "--groups", "4", "--views", "V1,V2", "--out", str(partial)])
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "extend-index",
+                str(partial),
+                "--groups",
+                "5",
+                "--views",
+                "V1,V2,V3",
+                "--out",
+                str(tmp_path / "bad.json.gz"),
+            ]
+        )
+        assert code == 2
+        assert "cannot extend" in capsys.readouterr().err
+
     def test_serve_batch_from_query_file(self, capsys, tmp_path):
         artifact = tmp_path / "dblp.json"
         assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0

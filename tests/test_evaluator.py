@@ -3,9 +3,7 @@
 import pytest
 
 from repro.db import Database
-from repro.errors import EvaluationError
 from repro.indb import TupleIndependentDatabase, probability_to_weight
-from repro.lineage import DNF, shannon_probability
 from repro.query import (
     answer_probabilities,
     boolean_lineage,

@@ -15,7 +15,7 @@ from repro.mvindex import (
     mv_intersect,
     p0_q_or_w,
 )
-from repro.obdd import ObddManager, build_obdd, natural_order
+from repro.obdd import build_obdd, natural_order
 
 
 def _conjunction_probability(q: DNF, w: DNF, probabilities) -> float:
@@ -182,6 +182,117 @@ class TestIntersection:
         compiled = build_obdd(formula, order)
         flat = FlatObdd.from_manager(compiled.manager, compiled.root)
         assert len(flat) == compiled.size + 2
+
+
+class TestParallelBuild:
+    def _w(self, pairs: int = 24) -> tuple[DNF, dict[int, float]]:
+        clauses = [[2 * i, 2 * i + 1] for i in range(pairs)]
+        clauses += [[4 * i, 4 * i + 2] for i in range(pairs // 2)]
+        w = DNF(clauses)
+        probabilities = {v: 0.1 + (v % 8) / 10.0 for v in w.variables()}
+        return w, probabilities
+
+    def test_sharded_build_exports_identical_state(self):
+        w, probabilities = self._w()
+        order = natural_order(sorted(w.variables()))
+        serial = MVIndex(w, probabilities, order)
+        sharded = MVIndex(w, probabilities, order, workers=3)
+        assert sharded.export_state() == serial.export_state()
+        assert sharded.component_count() == serial.component_count()
+        assert sharded.probability_w() == serial.probability_w()
+
+    def test_sharded_build_answers_identically(self):
+        w, probabilities = self._w()
+        order = natural_order(sorted(w.variables()))
+        serial = MVIndex(w, probabilities, order)
+        sharded = MVIndex(w, probabilities, order, workers=2)
+        query = DNF([[0, 4], [9]])
+        assert mv_intersect(sharded, query, probabilities) == mv_intersect(
+            serial, query, probabilities
+        )
+        assert cc_mv_intersect(sharded, query, probabilities) == cc_mv_intersect(
+            serial, query, probabilities
+        )
+
+    def test_single_component_falls_back_to_serial(self):
+        w = DNF([[0, 1], [1, 2]])
+        probabilities = {0: 0.5, 1: 0.4, 2: 0.3}
+        index = MVIndex(w, probabilities, natural_order(range(3)), workers=4)
+        assert index.component_count() == 1
+        assert index.probability_w() == pytest.approx(
+            brute_force_probability(w, probabilities)
+        )
+
+
+class TestIncrementalExtend:
+    def test_extend_with_disjoint_views(self):
+        w1 = DNF([[0, 1], [2]])
+        probabilities = {0: 0.5, 1: 0.4, 2: 0.3}
+        index = MVIndex(w1, probabilities, natural_order(range(3)))
+        new = DNF([[3, 4]])
+        added = index.extend(new, probabilities={3: 0.6, 4: 0.2})
+        assert len(added) == 1
+        merged = w1.or_(new)
+        merged_probabilities = {**probabilities, 3: 0.6, 4: 0.2}
+        assert index.probability_w() == pytest.approx(
+            brute_force_probability(merged, merged_probabilities)
+        )
+        assert index.component_of(3) == index.component_of(4)
+        # Queries over old and new variables both work.
+        q = DNF([[0, 3]])
+        expected = _conjunction_probability(q, merged, merged_probabilities)
+        assert cc_mv_intersect(index, q, merged_probabilities) == pytest.approx(expected)
+        assert mv_intersect(index, q, merged_probabilities) == pytest.approx(expected)
+
+    def test_extend_recompiles_connected_components(self):
+        w1 = DNF([[0, 1], [4, 5]])
+        probabilities = {v: 0.3 + v / 20.0 for v in range(6)}
+        index = MVIndex(w1, probabilities, natural_order(range(6)))
+        assert index.component_count() == 2
+        # The new clause bridges both existing components.
+        new = DNF([[1, 4]])
+        added = index.extend(new, existing_lineage=w1)
+        assert len(added) == 1
+        assert index.component_count() == 1
+        merged = w1.or_(new)
+        assert index.probability_w() == pytest.approx(
+            brute_force_probability(merged, probabilities)
+        )
+
+    def test_extend_requires_existing_lineage_for_overlaps(self):
+        w1 = DNF([[0, 1]])
+        index = MVIndex(w1, {0: 0.5, 1: 0.5}, natural_order(range(2)))
+        with pytest.raises(CompilationError, match="existing_lineage"):
+            index.extend(DNF([[1, 2]]), probabilities={2: 0.5})
+
+    def test_extend_rejects_probability_changes(self):
+        w1 = DNF([[0, 1]])
+        index = MVIndex(w1, {0: 0.5, 1: 0.5}, natural_order(range(2)))
+        with pytest.raises(CompilationError, match="cannot change"):
+            index.extend(DNF([[2]]), probabilities={0: 0.9, 2: 0.5})
+
+    def test_extend_rejects_unknown_probabilities(self):
+        w1 = DNF([[0, 1]])
+        index = MVIndex(w1, {0: 0.5, 1: 0.5}, natural_order(range(2)))
+        with pytest.raises(CompilationError, match="no probabilities"):
+            index.extend(DNF([[7]]))
+
+    def test_extend_matches_from_scratch_build(self):
+        w1 = DNF([[2 * i, 2 * i + 1] for i in range(6)])
+        extra = DNF([[12, 13], [13, 14]])
+        merged = w1.or_(extra)
+        probabilities = {v: 0.2 + (v % 5) / 10.0 for v in merged.variables()}
+        order = natural_order(sorted(merged.variables()))
+
+        extended = MVIndex(w1, {v: probabilities[v] for v in w1.variables()},
+                           natural_order(sorted(w1.variables())))
+        extended.extend(extra, probabilities=probabilities)
+        scratch = MVIndex(merged, probabilities, order)
+        assert extended.probability_w() == pytest.approx(scratch.probability_w(), abs=1e-12)
+        query = DNF([[0], [13]])
+        assert cc_mv_intersect(extended, query, probabilities) == pytest.approx(
+            cc_mv_intersect(scratch, query, probabilities), abs=1e-12
+        )
 
 
 @st.composite

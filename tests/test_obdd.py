@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import CompilationError
-from repro.indb import TupleIndependentDatabase, probability_to_weight
+from repro.indb import TupleIndependentDatabase
 from repro.lineage import DNF, brute_force_probability
 from repro.obdd import (
     ONE,
@@ -225,6 +225,111 @@ class TestConstruction:
         assert negated.probability(probabilities) == pytest.approx(
             1 - compiled.probability(probabilities)
         )
+
+
+class TestMultiWayApply:
+    def test_or_multi_equals_pairwise(self):
+        manager = ObddManager()
+        roots = [clause_obdd(manager, [i, i + 3]) for i in range(3)]
+        folded = roots[0]
+        for root in roots[1:]:
+            folded = manager.apply_or(folded, root)
+        assert manager.apply_or_multi(roots) == folded
+
+    def test_and_multi_equals_pairwise(self):
+        manager = ObddManager()
+        roots = [clause_obdd(manager, [i]) for i in range(4)]
+        folded = roots[0]
+        for root in roots[1:]:
+            folded = manager.apply_and(folded, root)
+        assert manager.apply_and_multi(roots) == folded
+
+    def test_identities_and_absorbing_terminals(self):
+        manager = ObddManager()
+        x = manager.variable(0)
+        assert manager.apply_or_multi([]) == ZERO
+        assert manager.apply_and_multi([]) == ONE
+        assert manager.apply_or_multi([ZERO, x, ZERO]) == x
+        assert manager.apply_and_multi([ONE, x]) == x
+        assert manager.apply_or_multi([x, ONE]) == ONE
+        assert manager.apply_and_multi([x, ZERO]) == ZERO
+        assert manager.apply_or_multi([x, x, x]) == x
+
+    def test_conjunction_chain_matches_make_node_fold(self):
+        manager = ObddManager()
+        by_chain = manager.conjunction_chain([4, 1, 7])
+        node = ONE
+        for level in (7, 4, 1):
+            node = manager.make_node(level, ZERO, node)
+        assert by_chain == node
+
+    def test_conjunction_chain_rejects_duplicates(self):
+        from repro.errors import CompilationError as Error
+
+        manager = ObddManager()
+        with pytest.raises(Error):
+            manager.conjunction_chain([2, 2])
+
+
+class TestDeepLineages:
+    """Regression: deep OBDDs previously overflowed the recursion limit.
+
+    The seed kernel recursed to the depth of the OBDD in apply, negate,
+    substitution and probability; a lineage over a few thousand variables
+    blew the default interpreter limit (or needed ``sys.setrecursionlimit``
+    escapes).  The iterative kernel must compile and evaluate them with the
+    interpreter limit untouched.
+    """
+
+    VARIABLES = 6000
+
+    def test_deep_single_clause_chain(self):
+        import math
+        import sys
+
+        limit = sys.getrecursionlimit()
+        formula = DNF([list(range(self.VARIABLES))])
+        order = natural_order(range(self.VARIABLES))
+        compiled = build_obdd(formula, order, method="concat")
+        assert compiled.size == self.VARIABLES
+        assert compiled.width == 1
+        probabilities = {v: 0.999 for v in range(self.VARIABLES)}
+        expected = math.exp(self.VARIABLES * math.log(0.999))
+        assert compiled.probability(probabilities) == pytest.approx(expected, rel=1e-9)
+        negated = compiled.negate()
+        assert negated.probability(probabilities) == pytest.approx(1 - expected, rel=1e-9)
+        assert sys.getrecursionlimit() == limit
+
+    def test_deep_independent_clause_concatenation(self):
+        import sys
+
+        limit = sys.getrecursionlimit()
+        formula = DNF([[2 * i, 2 * i + 1] for i in range(self.VARIABLES // 2)])
+        order = natural_order(range(self.VARIABLES))
+        compiled = build_obdd(formula, order, method="concat")
+        assert compiled.size == self.VARIABLES
+        # Satisfied by making any one pair true, falsified by breaking every pair.
+        assert compiled.manager.evaluate(compiled.root, {0: True, 1: True})
+        assert not compiled.manager.evaluate(
+            compiled.root, {level: level % 2 == 0 for level in range(self.VARIABLES)}
+        )
+        compiled.probability({v: 0.5 for v in range(self.VARIABLES)})
+        assert sys.getrecursionlimit() == limit
+
+    def test_deep_shared_variable_chain(self):
+        import sys
+
+        limit = sys.getrecursionlimit()
+        count = self.VARIABLES
+        formula = DNF([[i, i + 1] for i in range(count - 1)])
+        order = natural_order(range(count))
+        compiled = build_obdd(formula, order, method="concat")
+        assert compiled.size >= count - 1
+        assert compiled.manager.evaluate(compiled.root, {5: True, 6: True})
+        assert not compiled.manager.evaluate(
+            compiled.root, {level: level % 2 == 0 for level in range(count)}
+        )
+        assert sys.getrecursionlimit() == limit
 
 
 @st.composite

@@ -139,6 +139,44 @@ class TestArtifactRoundTrip:
         for query in queries:
             assert loaded.query(query, method=method) == engine.query(query, method=method)
 
+    def test_parallel_build_artifact_is_byte_identical(self, workload, engine, tmp_path):
+        # The acceptance scenario of the sharded build: a process-pool build
+        # must produce an artifact byte-identical to the serial one.
+        parallel = MVQueryEngine(workload.mvdb, workers=2)
+        serial_path = save_engine(engine, tmp_path / "serial.json.gz")
+        parallel_path = save_engine(parallel, tmp_path / "parallel.json.gz")
+        assert parallel_path.read_bytes() == serial_path.read_bytes()
+
+    def test_extended_engine_round_trips(self, tmp_path):
+        # Artifacts saved before an extension load and answer identically
+        # under the extended engine's workflow: build V1+V2, persist, reload,
+        # extend to V1+V2+V3, persist, reload again.
+        partial = build_mvdb(DblpConfig(group_count=4, seed=0), include_views=("V1", "V2"))
+        engine = MVQueryEngine(partial.mvdb)
+        reloaded = load_engine(save_engine(engine, tmp_path / "partial.json.gz"))
+
+        full = build_mvdb(DblpConfig(group_count=4, seed=0))
+        added = reloaded.extend_views(full.mvdb)
+        assert reloaded.w_lineage_size > engine.w_lineage_size
+        assert added or reloaded.mv_index is None
+
+        reextended = load_engine(save_engine(reloaded, tmp_path / "extended.json.gz"))
+        fresh = MVQueryEngine(full.mvdb)
+        query = students_of_advisor("Advisor 0")
+        extended_answers = reloaded.query(query)
+        assert reextended.query(query) == extended_answers
+        fresh_answers = fresh.query(query)
+        assert set(extended_answers) == set(fresh_answers)
+        for answer, probability in fresh_answers.items():
+            assert extended_answers[answer] == pytest.approx(probability, abs=1e-12)
+
+    def test_extend_views_rejects_different_base_data(self):
+        small = build_mvdb(DblpConfig(group_count=4, seed=0), include_views=("V1",))
+        other = build_mvdb(DblpConfig(group_count=5, seed=0))
+        engine = MVQueryEngine(small.mvdb)
+        with pytest.raises(InferenceError, match="cannot extend"):
+            engine.extend_views(other.mvdb)
+
     def test_round_trip_without_index(self, workload, tmp_path):
         bare = MVQueryEngine(workload.mvdb, build_index=False)
         path = save_engine(bare, tmp_path / "bare.json")
@@ -398,19 +436,23 @@ class TestQueryBatch:
 
 
 class TestThreadSafety:
-    def test_recursion_limit_guard_survives_concurrent_exits(self):
-        # One traversal finishing must not lower the limit while another is
-        # still recursing (parallel query_batch can hit this).
-        from repro.mvindex.intersect import _recursion_limit
+    def test_intersection_never_touches_the_recursion_limit(self):
+        # The old kernel raised (and had to guard, across threads) the
+        # process-global recursion limit during deep traversals; the
+        # iterative kernel must serve deep indexes without ever mutating it.
+        from repro.lineage.dnf import DNF
+        from repro.mvindex import MVIndex, cc_mv_intersect, mv_intersect
+        from repro.obdd import natural_order
 
+        variable_count = 6000
+        w = DNF([[2 * i, 2 * i + 1] for i in range(variable_count // 2)])
+        probabilities = {v: 0.25 + (v % 7) / 10.0 for v in range(variable_count)}
         base = sys.getrecursionlimit()
-        raised = base + 50_000
-        inner_limit: list[int] = []
-        with _recursion_limit(raised):
-            with _recursion_limit(raised):
-                pass  # first user exits...
-            inner_limit.append(sys.getrecursionlimit())  # ...limit must hold
-        assert inner_limit == [max(base, raised)]
+        index = MVIndex(w, probabilities, natural_order(range(variable_count)))
+        query = DNF([[0], [variable_count - 1]])
+        pointer = mv_intersect(index, query, probabilities)
+        flat = cc_mv_intersect(index, query, probabilities)
+        assert pointer == pytest.approx(flat)
         assert sys.getrecursionlimit() == base
 
     def test_concurrent_queries_agree_with_sequential(self, engine):
