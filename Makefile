@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-gate docs-check lint all
+.PHONY: test bench bench-gate docs-check examples lint all
 
 ## Tier-1 test suite (fast; what CI gates on).
 test:
@@ -20,13 +20,22 @@ bench:
 bench-gate:
 	$(PYTHON) scripts/bench_gate.py
 
-## Documentation checks: every python block in README.md must run, and the
-## documented modules must render under pydoc.
+## Documentation checks: every python block in README.md and docs/api.md
+## must run (with DeprecationWarning as an error), and the documented
+## modules must render under pydoc.
 docs-check:
-	$(PYTHON) scripts/check_readme.py README.md
+	$(PYTHON) scripts/check_readme.py README.md docs/api.md
+
+## Run every example end-to-end on the facade; a DeprecationWarning leaking
+## from the facade's own code paths is an error.
+examples:
+	set -e; for example in examples/*.py; do \
+		echo "== $$example"; \
+		$(PYTHON) -W error::DeprecationWarning $$example 4; \
+	done
 
 ## Lint (configuration in pyproject.toml [tool.ruff]).
 lint:
-	ruff check src tests benchmarks scripts
+	ruff check src tests benchmarks scripts examples
 
-all: test lint bench bench-gate docs-check
+all: test lint bench bench-gate docs-check examples

@@ -12,7 +12,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import MVQueryEngine
+from repro.core.engine import MVQueryEngine
 from repro.experiments import (
     FullDatasetSettings,
     SweepSettings,

@@ -10,7 +10,7 @@ from conftest import emit
 
 from repro.experiments import ExperimentResult, time_call
 from repro.experiments.sweeps import base_dataset, sweep_aid_values
-from repro.core import MVQueryEngine
+from repro.core.engine import MVQueryEngine
 from repro.dblp import build_sweep_mvdb, students_of_advisor
 from repro.mvindex import IntersectStatistics, MVIndex, cc_mv_intersect
 from repro.query.evaluator import evaluate_ucq

@@ -9,22 +9,52 @@ A small "same-person" resolution scenario:
 * a positive MarkoView boosts pairs of matches that share the same e-mail
   domain (weight > 1: positive correlation).
 
-The example shows the three evaluation paths agreeing (MV-index, online OBDD,
-Shannon expansion) and compares against the MC-SAT baseline of the MLN view of
-the same database.
+The example shows the exact evaluation paths agreeing (MV-index, online OBDD,
+Shannon expansion) — and registers the MLN substrate's MC-SAT sampler as a
+*third-party inference method* through ``repro.methods``, so the approximate
+baseline runs through the very same ``db.query(..., method=...)`` door as
+the exact ones, without touching the engine.
 
 Run with::
 
     python examples/custom_correlations.py
 """
 
-from repro.core import MVDB, MVQueryEngine, MarkoView
+import repro
 from repro.mln import McSatSampler, mln_from_mvdb
-from repro.query import parse_query
 
 
-def build_mvdb() -> MVDB:
-    mvdb = MVDB()
+class McSatMethod(repro.methods.InferenceMethod):
+    """Alchemy-style MC-SAT estimation, plugged in as a registry method.
+
+    MC-SAT samples from the MLN view of the MVDB itself, so (unlike naive
+    independent sampling) it handles hard constraints and positive
+    correlations — the capability flag stays permissive.
+    """
+
+    name = "mc-sat"
+    exact = False
+    supports_negative_weights = True
+    description = "MC-SAT sampling on the MLN view of the MVDB"
+
+    def __init__(self, samples: int = 800, burn_in: int = 80, seed: int = 0) -> None:
+        self.samples = samples
+        self.burn_in = burn_in
+        self.seed = seed
+
+    def probability(self, engine, lineage, statistics=None):
+        if engine.mvdb is None:
+            raise repro.InferenceError(
+                "mc-sat needs the source MVDB; engines restored from artifacts "
+                "only carry the translated products"
+            )
+        mln = mln_from_mvdb(engine.mvdb)
+        sampler = McSatSampler(mln, seed=self.seed)
+        return sampler.estimate_query(lineage, samples=self.samples, burn_in=self.burn_in)
+
+
+def build_mvdb() -> repro.MVDB:
+    mvdb = repro.MVDB()
     # Candidate matches with weights (odds) from a similarity model.
     mvdb.add_probabilistic_table(
         "Match",
@@ -52,9 +82,9 @@ def build_mvdb() -> MVDB:
     )
     # Hard constraint: a left record matches at most one right record.
     mvdb.add_markoview(
-        MarkoView(
+        repro.MarkoView(
             "OneToOne",
-            parse_query("OneToOne(x, y1, y2) :- Match(x, y1), Match(x, y2), y1 <> y2"),
+            repro.parse_query("OneToOne(x, y1, y2) :- Match(x, y1), Match(x, y2), y1 <> y2"),
             0.0,
             description="a record matches at most one record of the other registry",
         )
@@ -62,9 +92,9 @@ def build_mvdb() -> MVDB:
     # Positive correlation: matches whose records share an e-mail domain support
     # each other (they likely come from the same organisation's migration).
     mvdb.add_markoview(
-        MarkoView(
+        repro.MarkoView(
             "SameDomain",
-            parse_query(
+            repro.parse_query(
                 "SameDomain(x1, y1, x2, y2) :- Match(x1, y1), Match(x2, y2), "
                 "Domain(x1, d), Domain(x2, d), Domain(y1, d), Domain(y2, d), x1 <> x2"
             ),
@@ -77,30 +107,33 @@ def build_mvdb() -> MVDB:
 
 def main() -> None:
     mvdb = build_mvdb()
-    engine = MVQueryEngine(mvdb)
+    db = repro.connect(mvdb)
 
     print("match marginals under the correlations (vs. independent odds):")
-    answers = engine.query(parse_query("Q(x, y) :- Match(x, y)"))
-    for (id1, id2), probability in sorted(answers.items()):
+    result = db.query("Q(x, y) :- Match(x, y)")
+    for answer in sorted(result, key=lambda a: a.values):
+        id1, id2 = answer.values
         weight = mvdb.base.weight("Match", (id1, id2))
         independent = weight / (1 + weight)
         print(
-            f"  Match({id1}, {id2}): P = {probability:.4f}   "
+            f"  Match({id1}, {id2}): P = {answer.probability:.4f}   "
             f"(independent would be {independent:.4f})"
         )
 
-    query = parse_query("Q :- Match(x, 'b2')")
+    query = "Q :- Match(x, 'b2')"
     print("\nP(someone matches b2), by every exact method:")
     for method in ("mvindex", "mvindex-mv", "obdd", "shannon"):
-        print(f"  {method:<11} {engine.boolean_probability(query, method=method):.6f}")
-    oracle = mvdb.exact_query_probability(query)
+        print(f"  {method:<11} {db.boolean_probability(query, method=method):.6f}")
+    oracle = mvdb.exact_query_probability(repro.parse_query(query))
     print(f"  {'oracle':<11} {oracle:.6f}   (possible-world enumeration)")
 
-    print("\nMC-SAT (Alchemy-style) estimate of the same query:")
-    mln = mln_from_mvdb(mvdb)
-    lineage = mvdb.base.lineage_of(query)
-    estimate = McSatSampler(mln, seed=0).estimate_query(lineage, samples=800, burn_in=80)
-    print(f"  mc-sat      {estimate:.4f}")
+    # Plug the MC-SAT baseline into the registry: every surface — this
+    # client, the serving session, even the CLI — can now resolve it.
+    if "mc-sat" not in repro.methods.names():
+        repro.methods.register("mc-sat", McSatMethod)
+    estimate = db.query(query, method="mc-sat")
+    print("\nMC-SAT (Alchemy-style) through the same front door:")
+    print(f"  mc-sat      {estimate.probability(()):.4f}   (exact={estimate.exact})")
 
 
 if __name__ == "__main__":

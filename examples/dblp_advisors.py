@@ -1,9 +1,10 @@
 """The paper's running example on the synthetic DBLP workload.
 
 Builds the Fig. 1 MVDB (deterministic DBLP tables, probabilistic Student /
-Advisor / Affiliation tables, MarkoViews V1-V3), compiles the MV-index
-offline, and runs the Sect. 1 query "find all students advised by X" plus
-the Sect. 5.4 workload queries, reporting per-query latency.
+Advisor / Affiliation tables, MarkoViews V1-V3), connects through the
+client facade (which compiles the MV-index offline), and runs the Sect. 1
+query "find all students advised by X" plus the Sect. 5.4 workload
+queries — the typed results report their own latency and cache provenance.
 
 Run with::
 
@@ -13,7 +14,7 @@ Run with::
 import sys
 import time
 
-from repro.core import MVQueryEngine
+import repro
 from repro.dblp import (
     DblpConfig,
     advisor_of_student,
@@ -30,36 +31,43 @@ def main(group_count: int = 12) -> None:
     for relation, rows in workload.size_report().items():
         print(f"  {relation:<18} {rows:>7} rows")
 
-    print("\ncompiling the MV-index offline (translation + W lineage + OBDDs)...")
+    print("\nconnecting (offline: translation + W lineage + MV-index compile)...")
     start = time.perf_counter()
-    engine = MVQueryEngine(workload.mvdb)
+    db = repro.connect(workload.mvdb)
+    stats = db.stats()
     print(
         f"  done in {time.perf_counter() - start:.2f}s: "
-        f"{engine.mv_index.size} OBDD nodes in {engine.mv_index.component_count()} components, "
-        f"W lineage has {engine.w_lineage_size} clauses"
+        f"{stats['index_nodes']} OBDD nodes in {stats['index_components']} components, "
+        f"W lineage has {stats['w_lineage_clauses']} clauses"
     )
 
     # The running example: all students advised by "Advisor 3" (the LIKE pattern
     # also matches e.g. "Advisor 30", mirroring the paper's 48 Madden-alikes).
-    query = madden_query("Advisor 3")
-    start = time.perf_counter()
-    answers = engine.query(query)
-    elapsed = (time.perf_counter() - start) * 1000
-    print(f"\nstudents advised by 'Advisor 3'  ({elapsed:.1f} ms, {len(answers)} answers):")
-    for (aid,), probability in sorted(answers.items(), key=lambda item: -item[1])[:8]:
-        print(f"  aid={aid:<5} P = {probability:.4f}")
+    result = db.query(madden_query("Advisor 3"))
+    print(
+        f"\nstudents advised by 'Advisor 3'  "
+        f"({result.wall_time * 1000:.1f} ms, {len(result)} answers):"
+    )
+    for answer in list(result)[:8]:
+        (aid,) = answer.values
+        print(f"  aid={aid:<5} P = {answer.probability:.4f}")
 
     # Workload queries of Sect. 5.4.
     for label, workload_query in [
         ("advisor of 'Student 2-0'", advisor_of_student("Student 2-0")),
         ("affiliation of 'Student 2-0'", affiliation_of_author("Student 2-0")),
     ]:
-        start = time.perf_counter()
-        answers = engine.query(workload_query)
-        elapsed = (time.perf_counter() - start) * 1000
-        print(f"\n{label}  ({elapsed:.1f} ms):")
-        for answer, probability in sorted(answers.items(), key=lambda item: -item[1])[:5]:
-            print(f"  {answer!r:<20} P = {probability:.4f}")
+        result = db.query(workload_query)
+        print(f"\n{label}  ({result.wall_time * 1000:.1f} ms):")
+        for answer in list(result)[:5]:
+            print(f"  {answer.values!r:<20} P = {answer.probability:.4f}")
+
+    # Repeat one query: the session's result cache serves it.
+    warm = db.query(madden_query("Advisor 3"))
+    print(
+        f"\nre-issued 'Advisor 3' query: cached={warm.cached}, "
+        f"{warm.wall_time * 1000:.2f} ms"
+    )
 
 
 if __name__ == "__main__":

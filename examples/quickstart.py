@@ -2,32 +2,34 @@
 
 This reproduces Example 1 of the paper: two correlated tuples ``R(a)`` and
 ``S(a)`` whose correlation is asserted by the MarkoView ``V(x)[w] :- R(x), S(x)``.
-Run with::
+Everything goes through the unified client facade: ``repro.connect`` owns
+translation, MV-index compilation and query serving, and queries return
+typed :class:`repro.QueryResult` objects.  Run with::
 
     python examples/quickstart.py
 """
 
-from repro.core import MVDB, MVQueryEngine, MarkoView
-from repro.query import parse_query
+import repro
 
 
 def main() -> None:
     # 1. An MVDB: probabilistic tables hold *weights* (odds), so a weight of 1.0
     #    means probability 1/2 and a weight of 2.0 means probability 2/3.
-    mvdb = MVDB()
+    mvdb = repro.MVDB()
     mvdb.add_probabilistic_table("R", ["x"], [(("a",), 1.0)])
     mvdb.add_probabilistic_table("S", ["x"], [(("a",), 2.0)])
 
     # 2. A MarkoView asserting a *negative* correlation (weight < 1) between the
     #    R and S tuples that join on x.
-    view = MarkoView("V", parse_query("V(x) :- R(x), S(x)"), weight=0.25)
+    view = repro.MarkoView("V", repro.parse_query("V(x) :- R(x), S(x)"), weight=0.25)
     mvdb.add_markoview(view)
 
-    # 3. The engine translates the MVDB into a tuple-independent database
-    #    (Theorem 1), compiles the view query W into an MV-index offline, and
-    #    answers queries online.
-    engine = MVQueryEngine(mvdb)
+    # 3. One front door: connect() translates the MVDB into a tuple-independent
+    #    database (Theorem 1), compiles the view query W into an MV-index
+    #    offline, and serves queries online (with caching).
+    db = repro.connect(mvdb)
 
+    engine = db.engine  # the pipeline products stay reachable for inspection
     print("Translated INDB relations:", sorted(engine.indb.database.relation_names()))
     print(f"P0(W) on the translated INDB  = {engine.p0_w():+.4f}")
     nv_weight = engine.indb.weight("NV_V", ("a",))
@@ -40,15 +42,22 @@ def main() -> None:
         "P(R(a) and S(a))": "Q :- R(x), S(x)",
     }
     for label, text in queries.items():
-        query = parse_query(text)
-        via_index = engine.boolean_probability(query, method="mvindex")
-        via_oracle = mvdb.exact_query_probability(query)
+        via_index = db.boolean_probability(text, method="mvindex")
+        via_oracle = mvdb.exact_query_probability(repro.parse_query(text))
         print(f"{label:<22} = {via_index:.6f}   (world-enumeration oracle: {via_oracle:.6f})")
+
+    # Typed results carry provenance, not just numbers:
+    result = db.query("Q :- R(x), S(x)")
+    print()
+    print(
+        f"typed result: {len(result)} answer(s) via {result.method!r} "
+        f"(exact={result.exact}, cached={result.cached}, "
+        f"{result.wall_time * 1000:.2f}ms, {result.steps} expansion steps)"
+    )
 
     # Without the view the two tuples would be independent:
     independent = (1.0 / 2.0) * (2.0 / 3.0)
-    joint = engine.boolean_probability(parse_query("Q :- R(x), S(x)"))
-    print()
+    joint = result.probability(())
     print(f"independent joint would be      {independent:.6f}")
     print(f"with the weight-0.25 MarkoView  {joint:.6f}  (negatively correlated)")
 

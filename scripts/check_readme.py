@@ -1,10 +1,12 @@
 """docs-check: run every ``python`` code block of a markdown file.
 
 Extracts fenced ```python blocks from the given markdown files (default:
-``README.md``) and executes each one in a fresh subprocess with ``src`` on
-``PYTHONPATH``.  A block that exits non-zero fails the check, so the README
-can never drift from the library's actual API.  Shell blocks (```bash) are
-not executed.
+``README.md`` and ``docs/api.md``) and executes each one in a fresh
+subprocess with ``src`` on ``PYTHONPATH`` — and with
+``DeprecationWarning`` promoted to an error, so a documented snippet can
+neither drift from the library's actual API nor quietly lean on the
+deprecated import surface.  A block that exits non-zero fails the check.
+Shell blocks (```bash) are not executed.
 
 Also render-checks the docstring surface: ``python -m pydoc`` must be able
 to render every module listed in ``PYDOC_MODULES`` without error.
@@ -24,8 +26,15 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
+#: Markdown files checked when none are given on the command line.
+DEFAULT_FILES = ["README.md", "docs/api.md"]
+
 #: Modules whose pydoc rendering is part of the documentation contract.
 PYDOC_MODULES = [
+    "repro",
+    "repro.client",
+    "repro.methods",
+    "repro.results",
     "repro.serving",
     "repro.serving.artifact",
     "repro.serving.canonical",
@@ -46,7 +55,7 @@ def python_blocks(markdown: str) -> list[str]:
 def run_block(source: str, label: str, env: dict[str, str]) -> bool:
     """Execute one block in a subprocess; report and return success."""
     completed = subprocess.run(
-        [sys.executable, "-c", source],
+        [sys.executable, "-W", "error::DeprecationWarning", "-c", source],
         capture_output=True,
         text=True,
         env=env,
@@ -81,7 +90,7 @@ def check_pydoc(env: dict[str, str]) -> bool:
 
 
 def main(argv: list[str]) -> int:
-    files = [Path(name) for name in argv] or [REPO_ROOT / "README.md"]
+    files = [Path(name) for name in argv] or [REPO_ROOT / name for name in DEFAULT_FILES]
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")

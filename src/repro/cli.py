@@ -13,21 +13,31 @@ Two families of commands share the ``repro`` entry point:
   compile the DBLP workload's MV-index once and save it (``save-index``, or
   ``build-index --workers N`` for the process-pool sharded build), extend a
   saved artifact with additional views without recompiling the untouched
-  components (``extend-index``), cold-start an engine from the artifact and
-  answer a query (``load-index``), or serve a whole batch with the
-  cache-aware session (``serve-batch``)::
+  components (``extend-index``), cold-start a :class:`repro.ProbDB` from
+  the artifact and answer a query (``load-index``), or serve a whole batch
+  with the cache-aware session (``serve-batch``)::
 
       python -m repro build-index --groups 8 --workers 4 --out dblp-index.json.gz
       python -m repro extend-index dblp-index.json.gz --groups 8 \\
           --views V1,V2,V3 --out dblp-extended.json.gz
-      python -m repro load-index dblp-index.json.gz \\
+      python -m repro load-index dblp-index.json.gz --json \\
           --query "Q(aid) :- Student(aid, y), Advisor(aid, a), Author(a, n), n like '%Advisor 0%'"
       python -m repro serve-batch dblp-index.json.gz --count 10 --repeat 2
+
+Everything is built on the unified client facade (:func:`repro.connect` /
+:func:`repro.open`); ``--json`` prints typed results through
+:meth:`repro.QueryResult.to_json`.
+
+Exit codes are consistent across both families: **0** on success, **1**
+on user errors (bad arguments, unknown experiments or methods, missing or
+corrupt artifacts, unparsable queries), **2** on internal errors (a bug).
+``repro --version`` prints the library version.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -49,6 +59,32 @@ from repro.experiments import (
 
 #: Sub-commands handled by the serving parser rather than the experiment one.
 SERVING_COMMANDS = ("save-index", "build-index", "extend-index", "load-index", "serve-batch")
+
+#: Exit codes: success / user error / internal error.
+EXIT_OK = 0
+EXIT_USER = 1
+EXIT_INTERNAL = 2
+
+
+def _version() -> str:
+    import repro
+
+    return f"repro {repro.__version__}"
+
+
+class _CliExit(Exception):
+    """Carries an exit code out of argparse's ``SystemExit``."""
+
+    def __init__(self, code: int) -> None:
+        self.code = code
+
+
+def _parse_args(parser: argparse.ArgumentParser, argv: list[str]) -> argparse.Namespace:
+    """``parse_args`` with the exit-code contract: argparse errors are user errors."""
+    try:
+        return parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 0 for --help/--version, 2 on errors
+        raise _CliExit(EXIT_OK if exc.code in (0, None) else EXIT_USER) from None
 
 
 def _sweep(args: argparse.Namespace) -> SweepSettings:
@@ -80,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the experiments of 'Probabilistic Databases with MarkoViews'.",
     )
+    parser.add_argument("-V", "--version", action="version", version=_version())
     parser.add_argument(
         "experiment",
         help="experiment id (fig1..fig11, scalability, serving, all, list)",
@@ -97,6 +134,7 @@ def build_serving_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Persist and serve the compiled MV-index across processes.",
     )
+    parser.add_argument("-V", "--version", action="version", version=_version())
     commands = parser.add_subparsers(dest="command", required=True)
 
     for name, description in (
@@ -137,11 +175,14 @@ def build_serving_parser() -> argparse.ArgumentParser:
 
     load = commands.add_parser(
         "load-index",
-        help="cold-start an engine from a saved artifact and optionally answer a query",
+        help="cold-start a ProbDB from a saved artifact and optionally answer a query",
     )
     load.add_argument("artifact", help="artifact written by save-index")
     load.add_argument("--query", default=None, help="datalog query to answer (optional)")
     load.add_argument("--method", default="mvindex", help="evaluation method")
+    load.add_argument(
+        "--json", action="store_true", help="print the typed result as a JSON document"
+    )
 
     batch = commands.add_parser(
         "serve-batch",
@@ -157,88 +198,94 @@ def build_serving_parser() -> argparse.ArgumentParser:
     batch.add_argument("--method", default="mvindex", help="evaluation method")
     batch.add_argument("--workers", type=int, default=None, help="thread-pool size (optional)")
     batch.add_argument("--repeat", type=int, default=2, help="rounds (first cold, rest warm)")
+    batch.add_argument(
+        "--json", action="store_true", help="print per-round typed results as JSON documents"
+    )
     return parser
 
 
 def _cmd_save_index(args: argparse.Namespace) -> int:
-    from repro.core import MVQueryEngine
+    import repro
     from repro.dblp.config import DblpConfig
     from repro.dblp.workload import build_mvdb
     from repro.experiments.harness import time_call
-    from repro.serving import save_engine
 
     views = tuple(name.strip() for name in args.views.split(",") if name.strip())
     workers = getattr(args, "workers", None)
     workload = build_mvdb(DblpConfig(group_count=args.groups, seed=args.seed), include_views=views)
-    build_seconds, engine = time_call(lambda: MVQueryEngine(workload.mvdb, workers=workers))
-    path = save_engine(engine, args.out)
-    index = engine.mv_index
+    build_seconds, db = time_call(lambda: repro.connect(workload.mvdb, workers=workers))
+    path = db.save(args.out)
+    index = db.engine.mv_index
     label = "offline build" if workers is None else f"offline build ({workers} workers)"
     print(f"{label}: {build_seconds:.3f}s")
-    print(f"possible tuples: {engine.indb.tuple_count()}")
-    print(f"W lineage: {engine.w_lineage_size} clauses")
+    print(f"possible tuples: {db.engine.indb.tuple_count()}")
+    print(f"W lineage: {db.engine.w_lineage_size} clauses")
     if index is not None:
         print(f"MV-index: {index.component_count()} components, {index.size} nodes")
     print(f"artifact: {path} ({path.stat().st_size} bytes)")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_extend_index(args: argparse.Namespace) -> int:
+    import repro
     from repro.dblp.config import DblpConfig
     from repro.dblp.workload import build_mvdb
     from repro.experiments.harness import time_call
-    from repro.serving import load_engine, save_engine
 
     views = tuple(name.strip() for name in args.views.split(",") if name.strip())
-    engine = load_engine(args.artifact)
-    before = engine.w_lineage_size
+    db = repro.open(args.artifact)
+    before = db.engine.w_lineage_size
     workload = build_mvdb(DblpConfig(group_count=args.groups, seed=args.seed), include_views=views)
-    extend_seconds, added = time_call(lambda: engine.extend_views(workload.mvdb))
-    path = save_engine(engine, args.out)
-    index = engine.mv_index
+    extend_seconds, added = time_call(lambda: db.extend(workload.mvdb))
+    path = db.save(args.out)
+    index = db.engine.mv_index
     print(f"incremental extension: {extend_seconds:.3f}s")
-    print(f"W lineage: {before} -> {engine.w_lineage_size} clauses")
+    print(f"W lineage: {before} -> {db.engine.w_lineage_size} clauses")
     if index is not None:
         print(
             f"MV-index: +{len(added)} components "
             f"({index.component_count()} total, {index.size} nodes)"
         )
     print(f"artifact: {path} ({path.stat().st_size} bytes)")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_load_index(args: argparse.Namespace) -> int:
+    import repro
     from repro.experiments.harness import time_call
-    from repro.query.parser import parse_query
-    from repro.serving import load_engine
 
-    load_seconds, engine = time_call(lambda: load_engine(args.artifact))
-    index = engine.mv_index
-    print(f"cold start from artifact: {load_seconds:.3f}s")
-    print(f"possible tuples: {engine.indb.tuple_count()}")
-    print(f"W lineage: {engine.w_lineage_size} clauses")
-    if index is not None:
-        print(f"MV-index: {index.component_count()} components, {index.size} nodes")
+    load_seconds, db = time_call(lambda: repro.open(args.artifact))
+    index = db.engine.mv_index
+    if not args.json:
+        print(f"cold start from artifact: {load_seconds:.3f}s")
+        print(f"possible tuples: {db.engine.indb.tuple_count()}")
+        print(f"W lineage: {db.engine.w_lineage_size} clauses")
+        if index is not None:
+            print(f"MV-index: {index.component_count()} components, {index.size} nodes")
     if args.query:
-        query = parse_query(args.query)
-        seconds, answers = time_call(lambda: engine.query(query, method=args.method))
-        print(f"query answered in {seconds * 1000:.2f}ms via {args.method!r}:")
-        for answer, probability in sorted(answers.items(), key=lambda item: repr(item[0])):
-            print(f"  {answer} -> {probability:.6f}")
-        if not answers:
-            print("  (no answers with a derivation)")
-    return 0
+        result = db.query(args.query, method=args.method)
+        if args.json:
+            print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        else:
+            print(f"query answered in {result.wall_time * 1000:.2f}ms via {result.method!r}:")
+            for answer in result:
+                print(f"  {answer.values} -> {answer.probability:.6f}")
+            if not len(result):
+                print("  (no answers with a derivation)")
+    elif args.json:
+        print(json.dumps({"load_seconds": load_seconds, **db.stats()}, indent=2, sort_keys=True))
+    return EXIT_OK
 
 
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    import repro
     from repro.dblp.workload import students_of_advisor
     from repro.experiments.harness import time_call
     from repro.query.parser import parse_query
-    from repro.serving import QuerySession, load_engine
 
-    engine = load_engine(args.artifact)
+    db = repro.open(args.artifact)
     if args.queries:
         lines = Path(args.queries).read_text().splitlines()
         queries = [
@@ -248,31 +295,42 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         queries = [students_of_advisor(f"Advisor {index}") for index in range(args.count)]
     if not queries:
         print("no queries to serve", file=sys.stderr)
-        return 2
-    session = QuerySession(engine)
+        return EXIT_USER
+    rounds = []
     for round_index in range(max(1, args.repeat)):
         seconds, results = time_call(
-            lambda: session.query_batch(queries, method=args.method, workers=args.workers)
+            lambda: db.query_batch(queries, method=args.method, workers=args.workers)
         )
         label = "cold" if round_index == 0 else "warm"
         answers = sum(len(result) for result in results)
+        if args.json:
+            rounds.append(
+                {
+                    "round": round_index + 1,
+                    "label": label,
+                    "seconds": seconds,
+                    "results": [result.to_json() for result in results],
+                }
+            )
+        else:
+            print(
+                f"round {round_index + 1} ({label}): {len(queries)} queries, "
+                f"{answers} answers, {seconds * 1000:.2f}ms"
+            )
+    info = db.session.cache_info()
+    if args.json:
+        print(json.dumps({"rounds": rounds, "cache": info}, indent=2, sort_keys=True))
+    else:
         print(
-            f"round {round_index + 1} ({label}): {len(queries)} queries, "
-            f"{answers} answers, {seconds * 1000:.2f}ms"
+            f"cache: {info['result_hits']} hits / {info['result_misses']} misses, "
+            f"{info['relational_passes']} relational pass(es), "
+            f"{info['evaluated_disjuncts']} distinct disjuncts evaluated"
         )
-    info = session.cache_info()
-    print(
-        f"cache: {info['result_hits']} hits / {info['result_misses']} misses, "
-        f"{info['relational_passes']} relational pass(es), "
-        f"{info['evaluated_disjuncts']} distinct disjuncts evaluated"
-    )
-    return 0
+    return EXIT_OK
 
 
 def _serving_main(argv: list[str]) -> int:
-    from repro.errors import ReproError
-
-    args = build_serving_parser().parse_args(argv)
+    args = _parse_args(build_serving_parser(), argv)
     handlers = {
         "save-index": _cmd_save_index,
         "build-index": _cmd_save_index,
@@ -280,39 +338,56 @@ def _serving_main(argv: list[str]) -> int:
         "load-index": _cmd_load_index,
         "serve-batch": _cmd_serve_batch,
     }
-    try:
-        return handlers[args.command](args)
-    except (ReproError, OSError) as exc:
-        # Library failures (missing/corrupt artifact, query parse errors,
-        # inference errors) and filesystem problems (unreadable query file,
-        # unwritable output path) become a clean one-line diagnostic, not a
-        # traceback.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    return handlers[args.command](args)
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
+def _dispatch(argv: list[str]) -> int:
+    # Both parser families register a version action, and argparse fires it
+    # before checking required positionals, so bare `repro --version` works
+    # through the experiment parser without a special case.
     if argv and argv[0] in SERVING_COMMANDS:
         return _serving_main(argv)
-    args = build_parser().parse_args(argv)
+    args = _parse_args(build_parser(), argv)
     runners = _runners()
     if args.experiment == "list":
         print("available experiments:", ", ".join(sorted(runners)), "+ 'all'")
         print("serving commands:", ", ".join(SERVING_COMMANDS))
-        return 0
+        return EXIT_OK
     if args.experiment == "all":
         names = sorted(runners)
     elif args.experiment in runners:
         names = [args.experiment]
     else:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
-        return 2
+        return EXIT_USER
     results = []
     for name in names:
         results.extend(runners[name](args))
     print(report(results, args.out))
-    return 0
+    return EXIT_OK
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        return _dispatch(argv)
+    except _CliExit as exc:
+        return exc.code
+    except (KeyboardInterrupt, BrokenPipeError):  # pragma: no cover - interactive
+        return EXIT_USER
+    except Exception as exc:
+        from repro.errors import ReproError
+
+        if isinstance(exc, (ReproError, OSError)):
+            # Library failures (missing/corrupt artifact, query parse errors,
+            # inference errors) and filesystem problems (unreadable query
+            # file, unwritable output path) are the user's to fix: a clean
+            # one-line diagnostic, not a traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USER
+        # Anything else is a bug in the library, not in the invocation.
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,203 @@
+"""One front door: ``repro.connect()`` / ``repro.open()`` and :class:`ProbDB`.
+
+The paper's pipeline — MVDB → Theorem 1 translation → MV-index compile →
+online query answering — used to be reachable only by stitching together
+the engine, parser, session and artifact submodules.  :class:`ProbDB` owns
+all of it behind one client object::
+
+    import repro
+
+    db = repro.connect(mvdb)                 # translate + compile offline
+    result = db.query("Q(x) :- R(x), S(x)")  # typed QueryResult
+    db.save("index.json.gz")                 # persist the offline products
+
+    served = repro.open("index.json.gz")     # cold start in a serving process
+    served.query_batch(queries, workers=4)   # one shared relational pass
+
+Queries may be datalog strings or parsed UCQ objects; results are typed
+:class:`~repro.results.QueryResult` / :class:`~repro.results.Answer`
+objects carrying probabilities, lineage sizes, OBDD work counters,
+cache-hit provenance and wall time (``.to_dict()`` recovers the legacy
+``{answer: probability}`` map).  Inference methods are resolved through
+the pluggable registry in :mod:`repro.methods`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.core.engine import MVQueryEngine
+from repro.core.mvdb import MVDB
+from repro.errors import ClientError
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.query.ucq import UCQ
+from repro.results import QueryResult
+from repro.serving.artifact import load_engine, save_engine
+from repro.serving.session import DEFAULT_CACHE_SIZE, PreparedQuery, QuerySession
+
+#: Anything the client accepts as a query: a datalog string or a parsed query.
+QueryLike = "str | UCQ | ConjunctiveQuery"
+
+
+def _as_query(query: Any) -> UCQ | ConjunctiveQuery:
+    """Parse datalog strings; pass parsed queries through."""
+    if isinstance(query, str):
+        return parse_query(query)
+    return query
+
+
+class ProbDB:
+    """A probabilistic database client: one engine, one caching session.
+
+    Construct through :func:`repro.connect` (from an MVDB) or
+    :func:`repro.open` (from a saved artifact).  All query entry points are
+    thread-safe; the underlying engine and session remain reachable via
+    :attr:`engine` / :attr:`session` for power users, and everything the
+    old five-module surface could do is available on this one object.
+    """
+
+    def __init__(self, engine: MVQueryEngine, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        self._engine = engine
+        self._session = QuerySession(engine, cache_size=cache_size)
+
+    # -------------------------------------------------------------- plumbing
+    @property
+    def engine(self) -> MVQueryEngine:
+        """The underlying query engine (advanced use)."""
+        return self._engine
+
+    @property
+    def session(self) -> QuerySession:
+        """The caching serving session every query goes through."""
+        return self._session
+
+    # --------------------------------------------------------------- queries
+    def query(self, query: QueryLike, method: str = "mvindex") -> QueryResult:
+        """Typed probabilities of every answer of ``query`` (cached)."""
+        return self._session.execute(_as_query(query), method=method)
+
+    def boolean_probability(self, query: QueryLike, method: str = "mvindex") -> float:
+        """``P(Q)`` for a Boolean query (0.0 if it has no derivations).
+
+        Raises :class:`~repro.errors.InferenceError` when the query has
+        free head variables.
+        """
+        return self._session.boolean_probability(_as_query(query), method=method)
+
+    def prepare(self, query: QueryLike) -> PreparedQuery:
+        """Pay the relational round trip now; returns a reusable handle.
+
+        The handle's :meth:`~repro.serving.session.PreparedQuery.execute`
+        runs the (cached) probability stage under any registered method.
+        """
+        return self._session.prepare(_as_query(query))
+
+    def query_batch(
+        self,
+        queries: Sequence[QueryLike],
+        method: str = "mvindex",
+        workers: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer many queries with one shared relational evaluation pass."""
+        return self._session.execute_batch(
+            [_as_query(query) for query in queries], method=method, workers=workers
+        )
+
+    def warm(self) -> None:
+        """Precompute everything lazy so concurrent queries only read."""
+        self._session.warm()
+
+    # ----------------------------------------------------------- persistence
+    def save(self, path: str | Path) -> Path:
+        """Persist the offline pipeline products; reload with :func:`repro.open`.
+
+        Paths ending in ``.gz`` are gzip-compressed.  The artifact restores
+        bit-identically: a reopened database answers every query with
+        exactly the probabilities this one computes.
+        """
+        return save_engine(self._engine, path)
+
+    # --------------------------------------------------------------- mutation
+    def extend(self, mvdb: MVDB) -> list[int]:
+        """Extend to a superset of MarkoViews over the same base data.
+
+        Only the new components of ``W`` are compiled
+        (:meth:`~repro.core.engine.MVQueryEngine.extend_views`); the session
+        caches are invalidated, since probabilities computed against the old
+        view set no longer hold.  Returns the added component keys.
+        """
+        added = self._engine.extend_views(mvdb)
+        self._session.invalidate()
+        return added
+
+    # ------------------------------------------------------------ inspection
+    def stats(self) -> dict[str, Any]:
+        """Engine, index and cache statistics as one flat dictionary."""
+        from repro import methods as method_registry
+
+        engine = self._engine
+        index = engine.mv_index
+        info: dict[str, Any] = {
+            "possible_tuples": engine.indb.tuple_count(),
+            "w_lineage_clauses": engine.w_lineage_size,
+            "index_components": index.component_count() if index is not None else 0,
+            "index_nodes": index.size if index is not None else 0,
+            "has_negative_weights": engine.has_nonstandard_probabilities,
+            "methods": list(method_registry.names()),
+        }
+        info.update(self._session.cache_info())
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProbDB({self._engine!r})"
+
+
+def connect(
+    mvdb: MVDB | None = None,
+    *,
+    artifact: str | Path | None = None,
+    build_index: bool = True,
+    permutations: Mapping[str, Sequence[str]] | None = None,
+    construction: str = "concat",
+    workers: int | None = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+) -> ProbDB:
+    """Open a probabilistic database: the single entry point of the library.
+
+    Exactly one source must be given:
+
+    * ``mvdb`` — run the offline pipeline now (Theorem 1 translation,
+      lineage of ``W``, MV-index compilation; ``workers`` shards the
+      compile across a process pool);
+    * ``artifact`` — cold-start from a file written by :meth:`ProbDB.save`
+      without recompiling anything (``build_index`` / ``permutations`` /
+      ``construction`` / ``workers`` do not apply and must be left default).
+
+    ``cache_size`` bounds each of the session's result/lineage LRU caches.
+    """
+    if (mvdb is None) == (artifact is None):
+        raise ClientError("connect() needs exactly one of: an MVDB, or artifact=<path>")
+    if artifact is not None:
+        if build_index is not True or permutations is not None or workers is not None \
+                or construction != "concat":
+            raise ClientError(
+                "build_index/permutations/construction/workers only apply when "
+                "building from an MVDB; the artifact already fixes them"
+            )
+        engine = load_engine(artifact)
+    else:
+        engine = MVQueryEngine(
+            mvdb,
+            build_index=build_index,
+            permutations=permutations,
+            construction=construction,
+            workers=workers,
+        )
+    return ProbDB(engine, cache_size=cache_size)
+
+
+def open_artifact(path: str | Path, cache_size: int = DEFAULT_CACHE_SIZE) -> ProbDB:
+    """Cold-start a :class:`ProbDB` from a saved artifact (``repro.open``)."""
+    return connect(artifact=path, cache_size=cache_size)

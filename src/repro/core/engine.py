@@ -10,40 +10,39 @@ The :class:`MVQueryEngine` wires together the whole pipeline of the paper:
    to the relational engine) and evaluate
    ``P(Q) = P0(Q ∧ ¬W) / P0(¬W)`` online via MV-index intersection.
 
-Several evaluation methods are exposed so the experiments of Sect. 5 can
-compare them: ``mvindex`` (CC-MVIntersect), ``mvindex-mv`` (pointer-based
-MVIntersect), ``obdd`` (construct the OBDD of ``Q ∨ W`` from scratch for
-every query — the "augmented OBDD" line of Figs. 5/6), ``shannon`` (exact
-DPLL-style computation on the lineage), and ``enumeration`` (brute force,
-tiny inputs only).
+Evaluation strategies are resolved through the inference-method registry
+(:mod:`repro.methods`): ``mvindex`` (CC-MVIntersect), ``mvindex-mv``
+(pointer-based MVIntersect), ``obdd`` (construct the OBDD of ``Q ∨ W`` from
+scratch for every query — the "augmented OBDD" line of Figs. 5/6),
+``shannon`` (exact DPLL-style computation on the lineage), ``enumeration``
+(brute force, tiny inputs only), ``sampling`` (Monte-Carlo, approximate),
+plus anything registered by third parties via
+:func:`repro.methods.register`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.mvdb import MVDB
-from repro.core.translate import (
-    Translation,
-    clamp_probability,
-    theorem1_probability,
-    translate,
-)
+from repro.core.translate import Translation, translate
 from repro.errors import InferenceError
 from repro.indb.database import TupleIndependentDatabase
 from repro.lineage.dnf import DNF
-from repro.lineage.enumeration import brute_force_probability
 from repro.lineage.shannon import shannon_probability
-from repro.mvindex.cc_intersect import cc_mv_intersect
 from repro.mvindex.index import MVIndex
-from repro.mvindex.intersect import mv_intersect
-from repro.obdd.construct import build_obdd
 from repro.obdd.order import VariableOrder, order_from_permutations
 from repro.query.cq import ConjunctiveQuery
 from repro.query.evaluator import evaluate_ucq
 from repro.query.ucq import UCQ, as_ucq
 
-#: Evaluation methods accepted by :meth:`MVQueryEngine.query`.
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.methods import InferenceMethod
+    from repro.mvindex.intersect import IntersectStatistics
+
+#: The paper's five evaluation methods.  Deprecated: the authoritative list
+#: (which includes registered third-party methods) is
+#: :func:`repro.methods.names`.
 METHODS = ("mvindex", "mvindex-mv", "obdd", "shannon", "enumeration")
 
 
@@ -62,6 +61,7 @@ class MVQueryEngine:
         self.translation: Translation | None = translate(mvdb)
         self.indb: TupleIndependentDatabase = self.translation.indb
         self.probabilities: dict[int, float] = self.indb.probabilities()
+        self._nonstandard: bool | None = None
         self.order: VariableOrder = order_from_permutations(self.indb, permutations)
         self.construction = construction
 
@@ -107,6 +107,7 @@ class MVQueryEngine:
         engine.translation = None
         engine.indb = indb
         engine.probabilities = indb.probabilities()
+        engine._nonstandard = None
         engine.order = order
         engine.construction = construction
         engine.w_lineage = w_lineage
@@ -186,6 +187,7 @@ class MVQueryEngine:
         self.probabilities = new_probabilities
         self.w_lineage = new_w_lineage
         self._p0_w = None
+        self._nonstandard = None
         return added
 
     # ----------------------------------------------------------- W statistics
@@ -210,10 +212,37 @@ class MVQueryEngine:
         return 1.0 - self.p0_w()
 
     # ------------------------------------------------------------- validation
+    @property
+    def has_nonstandard_probabilities(self) -> bool:
+        """Whether the translation produced probabilities outside ``[0, 1]``.
+
+        Positive MarkoView correlations (weight > 1) translate into
+        negative NV weights and probabilities (Sect. 3.3); methods whose
+        ``supports_negative_weights`` capability flag is ``False`` are
+        rejected on such engines.
+        """
+        if self._nonstandard is None:
+            self._nonstandard = any(
+                not 0.0 <= probability <= 1.0 for probability in self.probabilities.values()
+            )
+        return self._nonstandard
+
+    def resolve_method(self, method: "str | InferenceMethod") -> "InferenceMethod":
+        """Resolve a method name through the registry and check capabilities."""
+        from repro import methods as method_registry
+
+        resolved = method_registry.get(method)
+        if not resolved.supports_negative_weights and self.has_nonstandard_probabilities:
+            raise InferenceError(
+                f"method {resolved.name!r} does not support the negative tuple "
+                "weights this MVDB's translation produced (a MarkoView with "
+                "weight > 1); use an exact method such as 'mvindex'"
+            )
+        return resolved
+
     def validate_method(self, method: str) -> None:
-        """Reject evaluation methods not in :data:`METHODS`."""
-        if method not in METHODS:
-            raise InferenceError(f"unknown evaluation method {method!r}; choose from {METHODS}")
+        """Reject unknown or incapable evaluation methods."""
+        self.resolve_method(method)
 
     def validate_query(self, query: UCQ | ConjunctiveQuery) -> None:
         """Reject queries over the translated ``NV_*`` relations.
@@ -242,64 +271,44 @@ class MVQueryEngine:
         """Probability of every answer of ``query`` on the MVDB.
 
         For a Boolean query the result maps the empty tuple to ``P(Q)``
-        (absent if the query has no derivation, i.e. probability 0).
+        (absent if the query has no derivation, i.e. probability 0).  This
+        is the low-level map interface; :meth:`repro.ProbDB.query` returns
+        typed :class:`repro.QueryResult` objects instead.
         """
         ucq = as_ucq(query)
-        self.validate_method(method)
+        resolved = self.resolve_method(method)
         self.validate_query(ucq)
         result = evaluate_ucq(ucq, self.indb.database, self.indb)
         answers: dict[tuple[Any, ...], float] = {}
         for answer, lineage in result.lineages().items():
-            answers[answer] = self._lineage_probability(lineage, method)
+            answers[answer] = resolved.probability(self, lineage)
         return answers
 
     def boolean_probability(self, query: UCQ | ConjunctiveQuery, method: str = "mvindex") -> float:
-        """``P(Q)`` for a Boolean query (0.0 if it has no derivations)."""
-        return self.query(query, method=method).get((), 0.0)
+        """``P(Q)`` for a Boolean query (0.0 if it has no derivations).
+
+        Raises :class:`~repro.errors.InferenceError` when the query has free
+        head variables — the old behaviour of silently returning 0.0 for
+        non-Boolean queries hid real mistakes.
+        """
+        ucq = as_ucq(query)
+        if not ucq.is_boolean:
+            raise InferenceError(
+                f"boolean_probability requires a Boolean query, but {ucq.name!r} has "
+                f"free head variables {tuple(v.name for v in ucq.head)}; "
+                "use query() for non-Boolean queries"
+            )
+        return self.query(ucq, method=method).get((), 0.0)
 
     # ---------------------------------------------------------------- internals
-    def _lineage_probability(self, lineage: DNF, method: str) -> float:
-        if lineage.is_false:
-            return 0.0
-        if self.w_lineage.is_false:
-            # No MarkoViews: this is an ordinary tuple-independent database.
-            return self._independent_probability(lineage, method)
-        if method in ("mvindex", "mvindex-mv"):
-            return self._mvindex_probability(lineage, method)
-        p0_w = self.p0_w()
-        combined = lineage.or_(self.w_lineage)
-        if method == "obdd":
-            order = self.order.extend(sorted(lineage.variables()))
-            compiled = build_obdd(combined, order, method="concat")
-            p0_q_or_w = compiled.probability(self.probabilities)
-        elif method == "shannon":
-            p0_q_or_w = shannon_probability(combined, self.probabilities)
-        else:
-            p0_q_or_w = brute_force_probability(combined, self.probabilities)
-        return theorem1_probability(p0_q_or_w, p0_w)
-
-    def _independent_probability(self, lineage: DNF, method: str) -> float:
-        if method == "enumeration":
-            return brute_force_probability(lineage, self.probabilities)
-        if method == "obdd":
-            order = self.order.extend(sorted(lineage.variables()))
-            return build_obdd(lineage, order).probability(self.probabilities)
-        return shannon_probability(lineage, self.probabilities)
-
-    def _mvindex_probability(self, lineage: DNF, method: str) -> float:
-        if self.mv_index is None:
-            raise InferenceError(
-                "the MV-index was not built (build_index=False); use method='obdd' or 'shannon'"
-            )
-        intersect = cc_mv_intersect if method == "mvindex" else mv_intersect
-        numerator = intersect(self.mv_index, lineage, self.probabilities)
-        denominator = self.mv_index.probability_not_w()
-        if denominator == 0.0:
-            raise InferenceError(
-                "P0(¬W) = 0: the MarkoView hard constraints are violated in every world"
-            )
-        value = numerator / denominator
-        return clamp_probability(value, context=f"P0(Q ∧ ¬W) / P0(¬W) via {method!r}")
+    def _lineage_probability(
+        self,
+        lineage: DNF,
+        method: str,
+        statistics: "IntersectStatistics | None" = None,
+    ) -> float:
+        """Probability of one answer lineage via the resolved method."""
+        return self.resolve_method(method).probability(self, lineage, statistics)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         index = "no index" if self.mv_index is None else repr(self.mv_index)

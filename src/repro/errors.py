@@ -46,6 +46,10 @@ class ArtifactError(ReproError):
     """A persisted MV-index artifact is missing, corrupt, or incompatible."""
 
 
+class ClientError(ReproError):
+    """The client facade (``repro.connect`` / ``repro.open``) was misused."""
+
+
 class InferenceError(ReproError):
     """Probabilistic inference failed."""
 

@@ -5,6 +5,11 @@ Every experiment runner in :mod:`repro.experiments` returns an
 query id) and one column per method/series, matching the series plotted by
 the corresponding figure of the paper.  Results can be pretty-printed (the
 benchmark harness does so) and written as CSV under ``benchmarks/results/``.
+
+Runners that go through the client facade use :func:`query_row` to turn a
+typed :class:`repro.QueryResult` into a table row — the result already
+carries its own wall time and work counters, so no stopwatch bracketing is
+needed around facade queries.
 """
 
 from __future__ import annotations
@@ -13,7 +18,10 @@ import csv
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.results import QueryResult
 
 
 def time_call(function: Callable[[], Any]) -> tuple[float, Any]:
@@ -21,6 +29,22 @@ def time_call(function: Callable[[], Any]) -> tuple[float, Any]:
     start = time.perf_counter()
     result = function()
     return time.perf_counter() - start, result
+
+
+def query_row(query_id: str, result: "QueryResult") -> dict[str, Any]:
+    """A table row from a typed query result (the facade-era ``time_call``).
+
+    The typed result measures its own serving time and work, so experiment
+    code no longer brackets engine calls with a stopwatch; the returned
+    row keys match the columns the figure runners report.
+    """
+    return {
+        "query": query_id,
+        "seconds": result.wall_time,
+        "answers": len(result),
+        "cached": result.cached,
+        "steps": result.steps,
+    }
 
 
 @dataclass

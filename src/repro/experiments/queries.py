@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.client import ProbDB
 from repro.core.engine import MVQueryEngine
 from repro.dblp.config import DblpConfig
 from repro.dblp.workload import (
@@ -21,8 +22,7 @@ from repro.dblp.workload import (
     build_mvdb,
     students_of_advisor,
 )
-from repro.experiments.harness import ExperimentResult, time_call
-from repro.serving.session import QuerySession
+from repro.experiments.harness import ExperimentResult, query_row, time_call
 
 
 @dataclass(frozen=True)
@@ -57,32 +57,32 @@ def fig1_dataset_inventory(settings: FullDatasetSettings | None = None) -> Exper
 
 # ------------------------------------------------------------- Figs. 10 & 11
 def _query_latencies(
-    engine: MVQueryEngine,
+    db: ProbDB,
     queries: list,
     name: str,
     description: str,
 ) -> ExperimentResult:
-    """Cold and warm per-query latency through a caching session.
+    """Cold and warm per-query latency through the client facade.
 
     ``seconds`` is the cold latency (relational round trip plus MV-index
     intersection); ``warm_seconds`` re-issues the same query and measures the
-    result-cache path a production serving process would hit.
+    result-cache path a production serving process would hit.  Both come
+    straight from the typed result's own wall clock.
     """
-    session = QuerySession(engine)
     result = ExperimentResult(
         name=name,
         description=description,
-        columns=["query", "seconds", "warm_seconds", "answers"],
+        columns=["query", "seconds", "warm_seconds", "answers", "steps"],
     )
     for position, query in enumerate(queries, start=1):
-        seconds, answers = time_call(lambda q=query: session.query(q, method="mvindex"))
-        warm_seconds, __ = time_call(lambda q=query: session.query(q, method="mvindex"))
-        result.add_row(
-            query=f"q{position}",
-            seconds=seconds,
-            warm_seconds=warm_seconds,
-            answers=len(answers),
-        )
+        cold = db.query(query, method="mvindex")
+        warm = db.query(query, method="mvindex")
+        if cold.cached or not warm.cached:  # pragma: no cover - serving invariant
+            raise AssertionError("cold/warm cache provenance is inverted")
+        row = query_row(f"q{position}", cold)
+        row.pop("cached")
+        row["warm_seconds"] = warm.wall_time
+        result.add_row(**row)
     return result
 
 
@@ -98,7 +98,7 @@ def fig10_students_of_advisor(
     advisors = [f"Advisor {group}" for group in range(settings.query_count)]
     queries = [students_of_advisor(name) for name in advisors]
     return _query_latencies(
-        engine,
+        ProbDB(engine),
         queries,
         name="fig10_students_of_advisor",
         description="Per-query latency: students of an advisor (MV-index)",
@@ -117,7 +117,7 @@ def fig11_affiliation_of_author(
     authors = [f"Student {group}-0" for group in range(settings.query_count)]
     queries = [affiliation_of_author(name) for name in authors]
     return _query_latencies(
-        engine,
+        ProbDB(engine),
         queries,
         name="fig11_affiliation_of_author",
         description="Per-query latency: affiliation of an author (MV-index)",
@@ -205,29 +205,31 @@ def serving_cold_warm(
     import os
     import tempfile
 
-    from repro.serving import load_engine, save_engine
+    from repro.client import connect
 
     settings = settings or FullDatasetSettings()
     workload = workload or full_workload(settings)
     engine = engine or MVQueryEngine(workload.mvdb)
+    db = ProbDB(engine)
     queries = [students_of_advisor(f"Advisor {index}") for index in range(settings.query_count)]
     queries += [affiliation_of_author(f"Student {index}-0") for index in range(settings.query_count)]
 
     handle, path = tempfile.mkstemp(suffix=".json.gz")
     os.close(handle)
     try:
-        save_seconds, __ = time_call(lambda: save_engine(engine, path))
+        save_seconds, __ = time_call(lambda: db.save(path))
         artifact_bytes = os.path.getsize(path)
-        load_seconds, served_engine = time_call(lambda: load_engine(path))
+        load_seconds, served = time_call(lambda: connect(artifact=path))
     finally:
         os.unlink(path)
 
-    session = QuerySession(served_engine)
-    cold_seconds, cold_results = time_call(lambda: session.query_batch(queries))
-    warm_seconds, warm_results = time_call(lambda: session.query_batch(queries))
-    if cold_results != warm_results:  # pragma: no cover - serving invariant
-        raise AssertionError("warm batch results diverged from the cold batch")
-    info = session.cache_info()
+    cold_seconds, cold_results = time_call(lambda: served.query_batch(queries))
+    warm_seconds, warm_results = time_call(lambda: served.query_batch(queries))
+    if [r.to_dict() for r in cold_results] != [r.to_dict() for r in warm_results]:
+        raise AssertionError(  # pragma: no cover - serving invariant
+            "warm batch results diverged from the cold batch"
+        )
+    info = served.session.cache_info()
 
     result = ExperimentResult(
         name="serving_cold_warm",

@@ -119,6 +119,7 @@ def cc_mv_intersect(
     touched_keys = {component.key for component in touched}
     stats.touched_components = len(touched)
     stats.untouched_components = index.component_count() - len(touched)
+    stats.query_obdd_nodes = max(0, len(query.prob_under) - 2)
     untouched = index.untouched_factor(touched_keys)
     if not touched:
         return query.probability * untouched

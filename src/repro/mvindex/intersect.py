@@ -42,6 +42,9 @@ class IntersectStatistics:
     touched_components: int = 0
     untouched_components: int = 0
     pair_expansions: int = 0
+    #: Nodes of the query OBDD compiled for the traversal (also filled by the
+    #: from-scratch ``obdd`` method with the size of its ``Q ∨ W`` OBDD).
+    query_obdd_nodes: int = 0
 
 
 class _ChainView:
@@ -109,6 +112,7 @@ def mv_intersect(
     touched_keys = {component.key for component in touched}
     stats.touched_components = len(touched)
     stats.untouched_components = index.component_count() - len(touched)
+    stats.query_obdd_nodes = max(0, len(query.prob_under) - 2)
     untouched = index.untouched_factor(touched_keys)
 
     if not touched:

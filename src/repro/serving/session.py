@@ -26,18 +26,26 @@ experiment harness uses to report cold-versus-warm serving behaviour.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Sequence
+from typing import TYPE_CHECKING, Any, Hashable, Sequence
 
 from repro.core.engine import MVQueryEngine
+from repro.errors import InferenceError
 from repro.lineage.dnf import DNF
 from repro.mvindex.cc_intersect import prewarm_flat_encodings
+from repro.mvindex.intersect import IntersectStatistics
 from repro.query.cq import ConjunctiveQuery
-from repro.query.evaluator import QueryResult, evaluate_cq
+from repro.query.evaluator import QueryResult as RelationalResult
+from repro.query.evaluator import evaluate_cq
 from repro.query.ucq import UCQ, as_ucq
+from repro.results import Answer, QueryResult
 from repro.serving.canonical import canonical_cq_key, canonical_key
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.methods import InferenceMethod
 
 #: Default capacity of the result and lineage LRU caches.
 DEFAULT_CACHE_SIZE = 256
@@ -98,13 +106,23 @@ class _LruCache:
         return len(self._entries)
 
 
+@dataclass(frozen=True)
+class _Computed:
+    """A cache entry: typed answers plus the aggregate work counters."""
+
+    answers: tuple[Answer, ...]
+    obdd_nodes: int = 0
+    steps: int = 0
+    touched_components: int = 0
+
+
 @dataclass
 class PreparedQuery:
     """A handle to a query whose relational round trip has been paid.
 
     Obtained from :meth:`QuerySession.prepare`.  The handle pins the query's
-    canonical key and its per-answer lineages; :meth:`run` then only performs
-    (cached) probability computation, under any evaluation method.
+    canonical key and its per-answer lineages; :meth:`execute` then only
+    performs (cached) probability computation, under any evaluation method.
     """
 
     session: "QuerySession"
@@ -112,13 +130,22 @@ class PreparedQuery:
     key: str
     lineages: dict[tuple[Any, ...], DNF] = field(repr=False, default_factory=dict)
 
-    def run(self, method: str = "mvindex") -> dict[tuple[Any, ...], float]:
-        """Answer probabilities for the prepared query (result-cached)."""
+    def execute(self, method: str = "mvindex") -> QueryResult:
+        """Typed answers for the prepared query (result-cached)."""
         return self.session._run_prepared(self, method)
+
+    def run(self, method: str = "mvindex") -> dict[tuple[Any, ...], float]:
+        """Answer probabilities as the legacy ``{answer: probability}`` map."""
+        return self.execute(method).to_dict()
 
     def boolean_probability(self, method: str = "mvindex") -> float:
         """``P(Q)`` for a prepared Boolean query (0.0 without derivations)."""
-        return self.run(method).get((), 0.0)
+        if not self.ucq.is_boolean:
+            raise InferenceError(
+                f"boolean_probability requires a Boolean query, but {self.ucq.name!r} "
+                f"has free head variables {tuple(v.name for v in self.ucq.head)}"
+            )
+        return self.execute(method).probability(())
 
 
 class QuerySession:
@@ -158,10 +185,8 @@ class QuerySession:
             self._warmed = True
 
     # ---------------------------------------------------------------- queries
-    def query(
-        self, query: UCQ | ConjunctiveQuery, method: str = "mvindex"
-    ) -> dict[tuple[Any, ...], float]:
-        """Probability of every answer of ``query`` (cached, thread-safe).
+    def execute(self, query: UCQ | ConjunctiveQuery, method: str = "mvindex") -> QueryResult:
+        """Typed answers of ``query`` (cached, thread-safe).
 
         The session lock only guards the caches and statistics; relational
         evaluation and probability inference run outside it, so concurrent
@@ -169,26 +194,39 @@ class QuerySession:
         misses on the same query may duplicate work; both compute identical
         values.
         """
+        start = time.perf_counter()
         ucq = as_ucq(query)
-        self.engine.validate_method(method)
+        resolved = self.engine.resolve_method(method)
         self.engine.validate_query(ucq)
         key = canonical_key(ucq)
         with self._lock:
-            cached = self._results.get((key, method))
+            cached = self._results.get((key, resolved.name))
             if cached is not None:
                 self.statistics.result_hits += 1
-                return dict(cached)
+                return self._typed_result(cached, resolved, cached_hit=True, start=start)
             self.statistics.result_misses += 1
         lineages = self._lineages_for(key, ucq)
         self.warm()
-        answers = self._probabilities(lineages, method)
+        computed = self._typed_probabilities(lineages, resolved)
         with self._lock:
-            self._results.put((key, method), answers)
-        return dict(answers)
+            self._results.put((key, resolved.name), computed)
+        return self._typed_result(computed, resolved, cached_hit=False, start=start)
+
+    def query(
+        self, query: UCQ | ConjunctiveQuery, method: str = "mvindex"
+    ) -> dict[tuple[Any, ...], float]:
+        """Like :meth:`execute`, as the legacy ``{answer: probability}`` map."""
+        return self.execute(query, method=method).to_dict()
 
     def boolean_probability(self, query: UCQ | ConjunctiveQuery, method: str = "mvindex") -> float:
         """``P(Q)`` for a Boolean query (0.0 if it has no derivations)."""
-        return self.query(query, method=method).get((), 0.0)
+        ucq = as_ucq(query)
+        if not ucq.is_boolean:
+            raise InferenceError(
+                f"boolean_probability requires a Boolean query, but {ucq.name!r} has "
+                f"free head variables {tuple(v.name for v in ucq.head)}"
+            )
+        return self.execute(ucq, method=method).probability(())
 
     def prepare(self, query: UCQ | ConjunctiveQuery) -> PreparedQuery:
         """Pay the relational round trip now; return a reusable handle."""
@@ -198,12 +236,12 @@ class QuerySession:
         lineages = self._lineages_for(key, ucq)
         return PreparedQuery(session=self, ucq=ucq, key=key, lineages=lineages)
 
-    def query_batch(
+    def execute_batch(
         self,
         queries: Sequence[UCQ | ConjunctiveQuery],
         method: str = "mvindex",
         workers: int | None = None,
-    ) -> list[dict[tuple[Any, ...], float]]:
+    ) -> list[QueryResult]:
         """Answer many queries with one shared relational evaluation pass.
 
         All uncached queries in the batch contribute their conjunctive
@@ -218,11 +256,15 @@ class QuerySession:
         computation happens outside the session lock, so concurrent cached
         queries are not serialized behind a cold batch.
 
-        Returns one ``{answer: probability}`` dictionary per input query, in
-        input order.
+        Returns one :class:`~repro.results.QueryResult` per input query, in
+        input order.  A result computed in this batch reports the time its
+        own probability stage took as ``wall_time`` and ``cached=False``;
+        in-batch duplicates share the computing occurrence's result (and
+        its wall time — do not sum ``wall_time`` across a batch with
+        duplicates); result-cache hits report ``cached=True`` and 0.0.
         """
         ucqs = [as_ucq(query) for query in queries]
-        self.engine.validate_method(method)
+        resolved_method = self.engine.resolve_method(method)
         for ucq in ucqs:
             self.engine.validate_query(ucq)
         keys = [canonical_key(ucq) for ucq in ucqs]
@@ -236,7 +278,7 @@ class QuerySession:
             self.statistics.batches += 1
             # Answers are accumulated locally so the batch stays correct even
             # when it holds more distinct queries than the LRU caches do.
-            resolved: dict[str, dict[tuple[Any, ...], float]] = {}
+            resolved: dict[str, tuple[_Computed, bool, float]] = {}
             pending: "OrderedDict[str, UCQ]" = OrderedDict()
             for key, ucq in zip(keys, ucqs):
                 if key in pending:
@@ -245,10 +287,10 @@ class QuerySession:
                 if key in resolved:
                     self.statistics.result_hits += 1
                     continue
-                cached = self._results.get((key, method))
+                cached = self._results.get((key, resolved_method.name))
                 if cached is not None:
                     self.statistics.result_hits += 1
-                    resolved[key] = cached
+                    resolved[key] = (cached, True, 0.0)
                 else:
                     self.statistics.result_misses += 1
                     pending[key] = ucq
@@ -271,18 +313,42 @@ class QuerySession:
                 for key, lineages in fresh.items():
                     self._lineages.put(key, lineages)
         items = [(key, lineage_map[key]) for key in pending]
+
+        def timed(lineages: dict[tuple[Any, ...], DNF]) -> tuple[_Computed, float]:
+            stage_start = time.perf_counter()
+            computed = self._typed_probabilities(lineages, resolved_method)
+            return computed, time.perf_counter() - stage_start
+
         if workers is not None and workers > 1 and len(items) > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                computed = list(
-                    pool.map(lambda item: self._probabilities(item[1], method), items)
-                )
+                computed_all = list(pool.map(lambda item: timed(item[1]), items))
         else:
-            computed = [self._probabilities(lineages, method) for __, lineages in items]
+            computed_all = [timed(lineages) for __, lineages in items]
         with self._lock:
-            for (key, __), answers in zip(items, computed):
-                self._results.put((key, method), answers)
-                resolved[key] = answers
-        return [dict(resolved[key]) for key in keys]
+            for (key, __), (computed, seconds) in zip(items, computed_all):
+                self._results.put((key, resolved_method.name), computed)
+                resolved[key] = (computed, False, seconds)
+        return [
+            self._typed_result(
+                resolved[key][0],
+                resolved_method,
+                cached_hit=resolved[key][1],
+                wall_time=resolved[key][2],
+            )
+            for key in keys
+        ]
+
+    def query_batch(
+        self,
+        queries: Sequence[UCQ | ConjunctiveQuery],
+        method: str = "mvindex",
+        workers: int | None = None,
+    ) -> list[dict[tuple[Any, ...], float]]:
+        """Like :meth:`execute_batch`, as legacy ``{answer: probability}`` maps."""
+        return [
+            result.to_dict()
+            for result in self.execute_batch(queries, method=method, workers=workers)
+        ]
 
     # -------------------------------------------------------------- internals
     def _lineages_for(self, key: str, ucq: UCQ) -> dict[tuple[Any, ...], DNF]:
@@ -332,35 +398,87 @@ class QuerySession:
         }
         assembled: dict[str, dict[tuple[Any, ...], DNF]] = {}
         for key, ucq in pending.items():
-            result = QueryResult(ucq.head)
+            result = RelationalResult(ucq.head)
             for cq_key in memberships[key]:
                 result.merge(evaluated[cq_key])
             assembled[key] = result.lineages()
         return assembled, len(distinct)
 
-    def _probabilities(
-        self, lineages: dict[tuple[Any, ...], DNF], method: str
-    ) -> dict[tuple[Any, ...], float]:
-        """Intersect every answer lineage against the index."""
+    def _typed_probabilities(
+        self, lineages: dict[tuple[Any, ...], DNF], method: "InferenceMethod"
+    ) -> _Computed:
+        """Intersect every answer lineage against the index, keeping counters."""
         engine = self.engine
-        return {
-            answer: engine._lineage_probability(lineage, method)
-            for answer, lineage in lineages.items()
-        }
+        answers: list[Answer] = []
+        obdd_nodes = steps = touched = 0
+        for values, lineage in lineages.items():
+            statistics = IntersectStatistics()
+            probability = method.probability(engine, lineage, statistics)
+            answers.append(
+                Answer(
+                    values=values,
+                    probability=probability,
+                    lineage_size=0 if lineage.is_false else len(lineage),
+                )
+            )
+            obdd_nodes += statistics.query_obdd_nodes
+            steps += statistics.pair_expansions
+            touched += statistics.touched_components
+        return _Computed(
+            answers=tuple(answers),
+            obdd_nodes=obdd_nodes,
+            steps=steps,
+            touched_components=touched,
+        )
 
-    def _run_prepared(self, prepared: PreparedQuery, method: str) -> dict[tuple[Any, ...], float]:
-        self.engine.validate_method(method)
+    def _typed_result(
+        self,
+        computed: _Computed,
+        method: "InferenceMethod",
+        cached_hit: bool,
+        start: float | None = None,
+        wall_time: float | None = None,
+    ) -> QueryResult:
+        if wall_time is None:
+            wall_time = 0.0 if start is None else time.perf_counter() - start
+        return QueryResult(
+            answers=computed.answers,
+            method=method.name,
+            exact=method.exact,
+            cached=cached_hit,
+            wall_time=wall_time,
+            obdd_nodes=computed.obdd_nodes,
+            steps=computed.steps,
+            touched_components=computed.touched_components,
+        )
+
+    def _run_prepared(self, prepared: PreparedQuery, method: str) -> QueryResult:
+        start = time.perf_counter()
+        resolved = self.engine.resolve_method(method)
         with self._lock:
-            cached = self._results.get((prepared.key, method))
+            cached = self._results.get((prepared.key, resolved.name))
             if cached is not None:
                 self.statistics.result_hits += 1
-                return dict(cached)
+                return self._typed_result(cached, resolved, cached_hit=True, start=start)
             self.statistics.result_misses += 1
         self.warm()
-        answers = self._probabilities(prepared.lineages, method)
+        computed = self._typed_probabilities(prepared.lineages, resolved)
         with self._lock:
-            self._results.put((prepared.key, method), answers)
-        return dict(answers)
+            self._results.put((prepared.key, resolved.name), computed)
+        return self._typed_result(computed, resolved, cached_hit=False, start=start)
+
+    # ----------------------------------------------------------- invalidation
+    def invalidate(self) -> None:
+        """Drop every cached result and lineage (and the warm flag).
+
+        Called by :meth:`repro.ProbDB.extend` after the underlying engine
+        mutates — cached probabilities computed against the old view set
+        would otherwise be served for the extended database.
+        """
+        with self._lock:
+            self._results = _LruCache(self._results.capacity, self.statistics)
+            self._lineages = _LruCache(self._lineages.capacity, self.statistics)
+            self._warmed = False
 
     # ------------------------------------------------------------- inspection
     def cache_info(self) -> dict[str, int]:

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -11,8 +14,30 @@ class TestCli:
         output = capsys.readouterr().out
         assert "fig4" in output and "fig10" in output
 
+    def test_version_flag(self, capsys):
+        assert main(["--version"]) == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_flag_on_subparsers(self, capsys):
+        # argparse's version action exits 0 from either parser family.
+        assert main(["fig4", "--version"]) == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_bad_arguments_are_user_errors(self, capsys):
+        # argparse would exit 2; the CLI contract maps usage errors to 1.
+        assert main(["fig4", "--groups", "not-a-number"]) == 1
+        assert main(["save-index"]) == 1  # missing required --out
+
+    def test_internal_errors_exit_2(self, capsys, monkeypatch):
+        def boom(settings):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr("repro.cli.fig4_lineage_size", boom)
+        assert main(["fig4", "--groups", "4", "--points", "2"]) == 2
+        assert "internal error: RuntimeError: kaboom" in capsys.readouterr().err
+
     def test_unknown_experiment(self, capsys):
-        assert main(["nope"]) == 2
+        assert main(["nope"]) == 1
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_fig4_tiny_run(self, capsys, tmp_path):
@@ -127,7 +152,7 @@ class TestServingCli:
                 str(tmp_path / "bad.json.gz"),
             ]
         )
-        assert code == 2
+        assert code == 1
         assert "cannot extend" in capsys.readouterr().err
 
     def test_serve_batch_from_query_file(self, capsys, tmp_path):
@@ -143,8 +168,35 @@ class TestServingCli:
         assert main(["serve-batch", str(artifact), "--queries", str(queries)]) == 0
         assert "2 queries" in capsys.readouterr().out
 
+    def test_load_index_json_output(self, capsys, tmp_path):
+        artifact = tmp_path / "dblp.json.gz"
+        assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        query = (
+            "Q(aid) :- Student(aid, y), Advisor(aid, a), Author(a, n), n like '%Advisor 0%'"
+        )
+        assert main(["load-index", str(artifact), "--query", query, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["method"] == "mvindex"
+        assert document["exact"] is True
+        assert document["answers"]
+        for answer in document["answers"]:
+            assert 0.0 <= answer["probability"] <= 1.0
+            assert answer["lineage_size"] >= 1
+
+    def test_serve_batch_json_output(self, capsys, tmp_path):
+        artifact = tmp_path / "dblp.json.gz"
+        assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["serve-batch", str(artifact), "--count", "3", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [round_["label"] for round_ in document["rounds"]] == ["cold", "warm"]
+        warm = document["rounds"][1]["results"]
+        assert all(result["cached"] for result in warm)
+        assert document["cache"]["relational_passes"] == 1
+
     def test_load_index_missing_artifact_fails(self, capsys, tmp_path):
-        assert main(["load-index", str(tmp_path / "missing.json")]) == 2
+        assert main(["load-index", str(tmp_path / "missing.json")]) == 1
         assert "no MV-index artifact" in capsys.readouterr().err
 
     def test_load_index_corrupt_artifact_fails(self, capsys, tmp_path):
@@ -152,13 +204,13 @@ class TestServingCli:
         assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
         capsys.readouterr()
         artifact.write_bytes(artifact.read_bytes()[:100])  # truncate the stream
-        assert main(["load-index", str(artifact)]) == 2
+        assert main(["load-index", str(artifact)]) == 1
         assert "cannot read MV-index artifact" in capsys.readouterr().err
 
     def test_save_index_rejects_unknown_views(self, capsys, tmp_path):
         # The guard lives in build_mvdb; the CLI relays it as a clean error.
         code = main(["save-index", "--groups", "4", "--views", "V1,V9", "--out", str(tmp_path / "x.json")])
-        assert code == 2
+        assert code == 1
         assert "unknown MarkoView name(s)" in capsys.readouterr().err
         assert not (tmp_path / "x.json").exists()
 
@@ -167,12 +219,12 @@ class TestServingCli:
         assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
         capsys.readouterr()
         missing = tmp_path / "missing.dl"
-        assert main(["serve-batch", str(artifact), "--queries", str(missing)]) == 2
+        assert main(["serve-batch", str(artifact), "--queries", str(missing)]) == 1
         assert "error:" in capsys.readouterr().err
 
     def test_load_index_bad_query_fails(self, capsys, tmp_path):
         artifact = tmp_path / "dblp.json"
         assert main(["save-index", "--groups", "4", "--out", str(artifact)]) == 0
         capsys.readouterr()
-        assert main(["load-index", str(artifact), "--query", "Q(aid) :- "]) == 2
+        assert main(["load-index", str(artifact), "--query", "Q(aid) :- "]) == 1
         assert "error:" in capsys.readouterr().err

@@ -10,7 +10,8 @@ import math
 
 import pytest
 
-from repro.core import MVDB, MarkoView, theorem1_probability, translate
+from repro import MVDB, MarkoView
+from repro.core.translate import theorem1_probability, translate
 from repro.errors import QueryError, SchemaError, WeightError
 from repro.indb.weights import (
     CERTAIN_WEIGHT,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core import MVQueryEngine
+from repro.core.engine import MVQueryEngine
 from repro.dblp import (
     DblpConfig,
     advisor_of_student,

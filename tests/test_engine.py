@@ -4,9 +4,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import MVDB, MVQueryEngine, MarkoView
+from repro import MVDB, MarkoView, parse_query
+from repro.core.engine import MVQueryEngine
 from repro.errors import InferenceError
-from repro.query import parse_query
 
 
 def small_mvdb():
@@ -87,8 +87,21 @@ class TestEngineCorrectness:
 
     def test_unknown_method_rejected(self):
         engine = MVQueryEngine(small_mvdb())
-        with pytest.raises(InferenceError):
+        with pytest.raises(InferenceError, match="unknown evaluation method"):
+            engine.query(parse_query("Q :- R(x)"), method="no-such-method")
+
+    def test_incapable_method_rejected(self):
+        # small_mvdb's V1 has weight 2 (> 1): the translation produces
+        # negative weights, which the sampling method cannot draw from.
+        engine = MVQueryEngine(small_mvdb())
+        assert engine.has_nonstandard_probabilities
+        with pytest.raises(InferenceError, match="negative tuple"):
             engine.query(parse_query("Q :- R(x)"), method="sampling")
+
+    def test_boolean_probability_rejects_free_variables(self):
+        engine = MVQueryEngine(small_mvdb())
+        with pytest.raises(InferenceError, match="free head variables"):
+            engine.boolean_probability(parse_query("Q(x) :- R(x)"))
 
     def test_index_not_built(self):
         engine = MVQueryEngine(small_mvdb(), build_index=False)

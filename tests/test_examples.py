@@ -1,0 +1,52 @@
+"""Every example must run end-to-end on the facade, without deprecation leaks.
+
+Each ``examples/*.py`` script executes in a fresh subprocess with
+``-W error::DeprecationWarning``: the examples are written against the
+unified client API, so any ``DeprecationWarning`` escaping from the
+facade's own code paths (or from an example regressing to the old
+surface) fails the suite.  CI runs the same scripts via ``make examples``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+#: Extra argv per example, to keep the suite fast (dblp_advisors defaults to
+#: 12 research groups; 4 is plenty to exercise the whole pipeline).
+ARGS = {"dblp_advisors.py": ["4"]}
+
+
+def test_every_example_is_covered():
+    assert [path.name for path in EXAMPLES] == [
+        "custom_correlations.py",
+        "dblp_advisors.py",
+        "negative_probabilities.py",
+        "quickstart.py",
+    ]
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_without_deprecation_warnings(example: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning", str(example)]
+        + ARGS.get(example.name, []),
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} failed\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{example.name} printed nothing"

@@ -102,7 +102,7 @@ class TestFullDatasetRunners:
         assert {"Author", "Student", "Advisor", "V1", "V2", "V3"} <= relations
 
     def test_fig10_and_fig11(self, workload):
-        from repro.core import MVQueryEngine
+        from repro.core.engine import MVQueryEngine
 
         engine = MVQueryEngine(workload.mvdb)
         fig10 = fig10_students_of_advisor(TINY_FULL, workload, engine)

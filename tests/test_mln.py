@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core import MVDB, MarkoView
+from repro import MVDB, MarkoView
 from repro.errors import WeightError
 from repro.lineage import DNF
 from repro.mln import (

@@ -17,7 +17,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import METHODS, MVQueryEngine, clamp_probability
+from repro.core.engine import METHODS, MVQueryEngine
+from repro.core.translate import clamp_probability
 from repro.dblp.config import DblpConfig
 from repro.dblp.workload import (
     advisor_of_student,
@@ -28,14 +29,14 @@ from repro.dblp.workload import (
 from repro.errors import ArtifactError, InferenceError
 from repro.obdd.manager import ObddManager
 from repro.query import parse_query
-from repro.serving import (
-    QuerySession,
-    canonical_key,
+from repro.serving.artifact import (
     engine_from_state,
     engine_state,
     load_engine,
     save_engine,
 )
+from repro.serving.canonical import canonical_key
+from repro.serving.session import QuerySession
 
 #: Evaluation methods exercised by the round-trip tests ("enumeration" is
 #: exponential and needs tiny inputs, so the DBLP workload excludes it).
@@ -245,11 +246,9 @@ class TestNewProcessRoundTrip:
         )
         expected = engine.query(parse_query(query_text), method="mvindex")
         script = (
-            "import sys, json\n"
-            "from repro.serving import load_engine\n"
-            "from repro.query import parse_query\n"
-            "engine = load_engine(sys.argv[1])\n"
-            "answers = engine.query(parse_query(sys.argv[2]), method='mvindex')\n"
+            "import sys, json, repro\n"
+            "db = repro.open(sys.argv[1])\n"
+            "answers = db.query(sys.argv[2], method='mvindex').to_dict()\n"
             "print(json.dumps({repr(k): repr(v) for k, v in answers.items()}))\n"
         )
         env = dict(os.environ)
@@ -496,10 +495,12 @@ class TestClampGuard:
 
     def test_engine_guard_raises_on_corrupt_numerator(self, workload, monkeypatch):
         # Force the intersection to report an impossible numerator: the
-        # engine must refuse to return an out-of-range probability.
+        # method strategy must refuse to return an out-of-range probability.
+        from repro.methods import MvIndexMethod
+
         engine = MVQueryEngine(workload.mvdb)
         monkeypatch.setattr(
-            "repro.core.engine.cc_mv_intersect", lambda *args, **kwargs: -1e6
+            MvIndexMethod, "_intersect", staticmethod(lambda *args, **kwargs: -1e6)
         )
         with pytest.raises(InferenceError, match="outside"):
             engine.query(students_of_advisor("Advisor 0"), method="mvindex")
