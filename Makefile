@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-gate docs-check examples lint all
+.PHONY: test bench bench-gate bench-serving load-smoke coverage docs-check examples lint all
 
 ## Tier-1 test suite (fast; what CI gates on).
 test:
@@ -20,11 +20,26 @@ bench:
 bench-gate:
 	$(PYTHON) scripts/bench_gate.py
 
-## Documentation checks: every python block in README.md and docs/api.md
-## must run (with DeprecationWarning as an error), and the documented
-## modules must render under pydoc.
+## Serving benchmark: closed/open-loop HTTP load over a loopback server,
+## recorded to benchmarks/results/serving_http.csv.
+bench-serving:
+	$(PYTHON) scripts/bench_serving.py
+
+## Load smoke: hammer the HTTP server and fail on any 5xx, a blown p95
+## bound, or a non-monotonic /v1/stats counter (what the CI job runs).
+load-smoke:
+	$(PYTHON) scripts/load_smoke.py
+
+## Coverage gate (CI): needs pytest-cov; the fail-under floor lives in
+## pyproject.toml [tool.coverage.report].
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing:skip-covered tests
+
+## Documentation checks: every python block in README.md, docs/api.md and
+## docs/serving.md must run (with DeprecationWarning as an error), and the
+## documented modules must render under pydoc.
 docs-check:
-	$(PYTHON) scripts/check_readme.py README.md docs/api.md
+	$(PYTHON) scripts/check_readme.py README.md docs/api.md docs/serving.md
 
 ## Run every example end-to-end on the facade; a DeprecationWarning leaking
 ## from the facade's own code paths is an error.

@@ -200,8 +200,15 @@ def budgets_from_reference(sections: dict) -> dict:
     return budgets
 
 
-def compare(current: dict, baseline: dict) -> list[str]:
-    """All gate violations of ``current`` against ``baseline`` (empty = pass)."""
+def compare(current: dict, baseline: dict, margin: float = REGRESSION_MARGIN) -> list[str]:
+    """All gate violations of ``current`` against ``baseline`` (empty = pass).
+
+    ``margin`` is the wall-clock headroom: a timed section fails only when
+    it exceeds its budget by more than this fraction.  CI runners are noisy
+    shared machines, so the CI job passes a larger margin than the local
+    default; probability, structure and work-count checks are exact either
+    way.
+    """
     failures: list[str] = []
 
     for name, expected in baseline["probabilities"].items():
@@ -231,10 +238,10 @@ def compare(current: dict, baseline: dict) -> list[str]:
     budgets = baseline["budgets"]
     for name, budget in budgets.items():
         actual = current["sections"][name]
-        if actual > budget * (1 + REGRESSION_MARGIN):
+        if actual > budget * (1 + margin):
             failures.append(
                 f"construction-time regression in {name}: normalized {actual:.3f} "
-                f"vs budget {budget:.3f} (> {REGRESSION_MARGIN:.0%} over budget)"
+                f"vs budget {budget:.3f} (> {margin:.0%} over budget)"
             )
     return failures
 
@@ -274,6 +281,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--json", action="store_true", help="emit the raw measurement as JSON"
+    )
+    parser.add_argument(
+        "--margin",
+        type=float,
+        default=REGRESSION_MARGIN,
+        help="wall-clock headroom over budget before failing "
+        f"(default {REGRESSION_MARGIN}; CI uses a larger value for noisy runners)",
     )
     args = parser.parse_args(argv)
 
@@ -316,7 +330,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     print(render_report(current, baseline))
-    failures = compare(current, baseline)
+    failures = compare(current, baseline, margin=args.margin)
     if failures:
         print("\nBENCH GATE FAILED:", file=sys.stderr)
         for failure in failures:

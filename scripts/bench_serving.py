@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Serving benchmark: HTTP throughput/latency over a loopback server.
+
+Builds the small DBLP workload, starts the JSON-HTTP server
+(:mod:`repro.serving.server`) on an ephemeral loopback port, and drives it
+with the zipf-skewed workload mix (:mod:`repro.serving.loadgen`) through a
+matrix of load shapes:
+
+* closed loop at several concurrency levels (capacity);
+* open loop at a fixed arrival rate (latency under target load);
+
+each after a cold round that populates the caching tiers, so the recorded
+rows reflect warm serving — the regime a long-lived server lives in.
+Results go to ``benchmarks/results/serving_http.csv`` and to stdout.
+
+Usage::
+
+    python scripts/bench_serving.py                  # full matrix
+    python scripts/bench_serving.py --duration 2     # quicker rounds (CI)
+    python scripts/bench_serving.py --out other.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.engine import MVQueryEngine  # noqa: E402
+from repro.dblp.config import DblpConfig  # noqa: E402
+from repro.dblp.workload import build_mvdb  # noqa: E402
+from repro.serving.loadgen import WorkloadMix, run_closed, run_open  # noqa: E402
+from repro.serving.server import ProbServer  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "serving_http.csv"
+
+COLUMNS = [
+    "mode",
+    "concurrency",
+    "target_rate",
+    "duration_s",
+    "requests",
+    "ok",
+    "rejected",
+    "errors",
+    "qps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "string_hit_ratio",
+    "result_hit_ratio",
+    "lineage_hit_ratio",
+]
+
+
+def measure(groups: int, seed: int, duration_s: float, workers: int) -> list[dict]:
+    workload = build_mvdb(DblpConfig(group_count=groups, seed=seed))
+    engine = MVQueryEngine(workload.mvdb)
+    mix = WorkloadMix(entities=max(2, groups // 2))
+    rows: list[dict] = []
+    server = ProbServer(engine, workers=workers, max_queue=128).start()
+    try:
+        server.dispatcher.warm()
+        previous = server.dispatcher.cache_stats()
+        # One cold round populates every caching tier; it is reported too,
+        # labelled closed-cold, so the cold/warm gap stays visible.
+        cold = run_closed(server.url, duration_s=duration_s, concurrency=4, mix=mix, seed=seed)
+        previous = _append_row(rows, "closed-cold", cold, server, previous)
+        for concurrency in (1, 4, 8, 16):
+            report = run_closed(
+                server.url, duration_s=duration_s, concurrency=concurrency, mix=mix, seed=seed
+            )
+            previous = _append_row(rows, "closed", report, server, previous)
+        open_report = run_open(
+            server.url, duration_s=duration_s, rate=200.0, mix=mix, seed=seed, max_outstanding=32
+        )
+        _append_row(rows, "open", open_report, server, previous)
+    finally:
+        server.stop()
+    return rows
+
+
+def _append_row(rows: list[dict], mode: str, report, server: ProbServer, previous: dict) -> dict:
+    # The dispatcher's cache counters are cumulative since server start;
+    # each row reports the hit ratio of its OWN round's traffic.
+    cache = server.dispatcher.cache_stats()
+
+    def round_ratio(tier: str) -> float:
+        hits = cache[tier]["hits"] - previous[tier]["hits"]
+        misses = cache[tier]["misses"] - previous[tier]["misses"]
+        return round(hits / (hits + misses), 4) if hits + misses else 0.0
+
+    rows.append(
+        {
+            "mode": mode,
+            "concurrency": report.concurrency,
+            "target_rate": report.target_rate or "",
+            "duration_s": round(report.duration_s, 3),
+            "requests": report.requests,
+            "ok": report.ok,
+            "rejected": report.rejected,
+            "errors": report.server_errors + report.transport_errors,
+            "qps": round(report.qps, 1),
+            "p50_ms": round(report.latency_ms["p50_ms"], 3),
+            "p95_ms": round(report.latency_ms["p95_ms"], 3),
+            "p99_ms": round(report.latency_ms["p99_ms"], 3),
+            "string_hit_ratio": round_ratio("string"),
+            "result_hit_ratio": round_ratio("result"),
+            "lineage_hit_ratio": round_ratio("lineage"),
+        }
+    )
+    return cache
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--groups", type=int, default=8, help="DBLP research groups")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument("--duration", type=float, default=3.0, help="seconds per load round")
+    parser.add_argument("--workers", type=int, default=4, help="dispatch workers")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="CSV output path")
+    args = parser.parse_args(argv)
+
+    rows = measure(args.groups, args.seed, args.duration, args.workers)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with args.out.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=COLUMNS)
+        writer.writeheader()
+        writer.writerows(rows)
+
+    width = {column: max(len(column), *(len(str(row[column])) for row in rows)) for column in COLUMNS}
+    print("  ".join(column.ljust(width[column]) for column in COLUMNS))
+    for row in rows:
+        print("  ".join(str(row[column]).ljust(width[column]) for column in COLUMNS))
+    print(f"\nwrote {args.out}")
+    errors = sum(row["errors"] for row in rows)
+    if errors:
+        print(f"serving bench saw {errors} errors", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

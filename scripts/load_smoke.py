@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Load smoke: start the HTTP server, hammer it, assert serving invariants.
+
+The CI ``load-smoke`` job runs this script.  It builds a tiny DBLP
+artifact-equivalent workload in-process, starts the JSON-HTTP server on an
+ephemeral loopback port, drives it with the closed-loop zipf-skewed
+workload for ``--duration`` seconds while polling ``/v1/stats`` once a
+second, and fails (exit 1) when any serving invariant breaks:
+
+* **no 5xx, no transport errors** — every request must get a well-formed
+  HTTP answer (429 rejections are allowed: that is admission control
+  working, not failing);
+* **p95 latency** must stay under ``--p95-ms`` (a generous bound — this is
+  a smoke test on shared CI runners, not a benchmark);
+* **monotonic counters** — the cumulative counters in ``/v1/stats``
+  (requests_total, rejected_total, errors_total, per-tier hits/misses)
+  must never decrease between polls;
+* **zero server-side errors_total** after the run;
+* the final round of probabilities must match an in-process ``ProbDB``
+  byte-for-byte (the transport must not change a single answer).
+
+Usage::
+
+    python scripts/load_smoke.py                  # ~15s, CI defaults
+    python scripts/load_smoke.py --duration 5     # quicker local check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402
+from repro.dblp.config import DblpConfig  # noqa: E402
+from repro.dblp.workload import build_mvdb  # noqa: E402
+from repro.serving.loadgen import WorkloadMix, fetch_stats, run_closed  # noqa: E402
+from repro.serving.server import ProbServer  # noqa: E402
+
+#: The cumulative /v1/stats counters that must never decrease.
+MONOTONIC = (
+    ("throughput", "requests_total"),
+    ("throughput", "answers_total"),
+    ("admission", "rejected_total"),
+    ("admission", "coalesced_total"),
+    ("errors", "total"),
+)
+
+
+def poll_stats(url: str, stop: threading.Event, interval_s: float, failures: list[str]) -> None:
+    previous: dict[tuple[str, str], int] = {}
+    previous_tiers: dict[tuple[str, str], int] = {}
+    while not stop.is_set():
+        try:
+            stats = fetch_stats(url)
+        except Exception as exc:  # the load must go on; record and retry
+            failures.append(f"stats poll failed: {exc!r}")
+            stop.wait(interval_s)
+            continue
+        for section, counter in MONOTONIC:
+            value = stats[section][counter]
+            key = (section, counter)
+            if value < previous.get(key, 0):
+                failures.append(
+                    f"non-monotonic counter {section}.{counter}: "
+                    f"{previous[key]} -> {value}"
+                )
+            previous[key] = value
+        for tier, tier_stats in stats["cache"].items():
+            for counter in ("hits", "misses"):
+                key = (tier, counter)
+                value = tier_stats[counter]
+                if value < previous_tiers.get(key, 0):
+                    failures.append(
+                        f"non-monotonic cache counter {tier}.{counter}: "
+                        f"{previous_tiers[key]} -> {value}"
+                    )
+                previous_tiers[key] = value
+        stop.wait(interval_s)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--groups", type=int, default=6, help="DBLP research groups")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument("--duration", type=float, default=15.0, help="seconds of load")
+    parser.add_argument("--concurrency", type=int, default=8, help="closed-loop workers")
+    parser.add_argument("--workers", type=int, default=4, help="server dispatch workers")
+    parser.add_argument(
+        "--p95-ms", type=float, default=2000.0, help="p95 latency bound (generous)"
+    )
+    parser.add_argument(
+        "--min-qps", type=float, default=0.0, help="optional throughput floor (0 = off)"
+    )
+    args = parser.parse_args(argv)
+
+    workload = build_mvdb(DblpConfig(group_count=args.groups, seed=args.seed))
+    db = repro.connect(workload.mvdb)
+    server = ProbServer(db.engine, workers=args.workers, max_queue=64).start()
+    failures: list[str] = []
+    stop = threading.Event()
+    poller = threading.Thread(
+        target=poll_stats, args=(server.url, stop, 1.0, failures), daemon=True
+    )
+    try:
+        server.dispatcher.warm()
+        poller.start()
+        mix = WorkloadMix(entities=max(2, args.groups // 2))
+        report = run_closed(
+            server.url,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            mix=mix,
+            seed=args.seed,
+        )
+        stop.set()
+        poller.join(timeout=5.0)
+        print(report.render())
+
+        if report.server_errors:
+            failures.append(f"{report.server_errors} responses were 5xx")
+        if report.transport_errors:
+            failures.append(f"{report.transport_errors} requests died in transport")
+        if report.latency_ms["p95_ms"] > args.p95_ms:
+            failures.append(
+                f"p95 latency {report.latency_ms['p95_ms']:.1f}ms exceeds "
+                f"the {args.p95_ms:.0f}ms bound"
+            )
+        if args.min_qps and report.qps < args.min_qps:
+            failures.append(f"throughput {report.qps:.1f} qps below floor {args.min_qps}")
+
+        stats = fetch_stats(server.url)
+        if stats["errors"]["total"]:
+            failures.append(f"server counted {stats['errors']['total']} internal errors")
+
+        # Transport parity: the HTTP answers must be byte-identical to the
+        # in-process facade's for the same queries.
+        remote = repro.connect_remote(server.url)
+        queries, __ = mix.population()
+        for query in queries[: min(5, len(queries))]:
+            local_doc = json.dumps(db.query(query).to_json()["answers"], sort_keys=True)
+            remote_doc = json.dumps(remote.query(query).to_json()["answers"], sort_keys=True)
+            if local_doc != remote_doc:
+                failures.append(f"transport parity broken for {query!r}")
+    finally:
+        stop.set()
+        server.stop()
+
+    if failures:
+        print("\nLOAD SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("load smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,9 @@ The blessed client API lives right here::
 * :func:`connect` / :func:`open` / :class:`ProbDB` — the client facade
   (:mod:`repro.client`): queries, prepared queries, batches, artifact
   save/load, incremental view extension, statistics;
+* :func:`connect_remote` / :class:`RemoteProbDB` — the same query surface
+  over HTTP, against a server started with ``python -m repro serve``
+  (:mod:`repro.serving.server`);
 * :class:`QueryResult` / :class:`Answer` — typed results
   (:mod:`repro.results`) with probabilities, lineage sizes, work counters,
   cache provenance and wall time;
@@ -55,7 +58,7 @@ Package-level imports from :mod:`repro.core` and :mod:`repro.serving`
 each name.
 """
 
-from repro.client import ProbDB, connect, open_artifact
+from repro.client import ProbDB, RemoteProbDB, connect, connect_remote, open_artifact
 from repro.core.markoview import MarkoView
 from repro.core.mvdb import MVDB
 from repro.db.database import Database
@@ -84,7 +87,9 @@ open = open_artifact
 __all__ = [
     # the facade
     "ProbDB",
+    "RemoteProbDB",
     "connect",
+    "connect_remote",
     "open",
     "open_artifact",
     "Answer",

@@ -24,6 +24,14 @@ Two families of commands share the ``repro`` entry point:
           --query "Q(aid) :- Student(aid, y), Advisor(aid, a), Author(a, n), n like '%Advisor 0%'"
       python -m repro serve-batch dblp-index.json.gz --count 10 --repeat 2
 
+* **over-the-wire serving** (see ``docs/serving.md``): ``serve`` fronts an
+  artifact (or an in-process build) with the JSON-HTTP server of
+  :mod:`repro.serving.server`, and ``loadtest`` drives a running server
+  with the zipf-skewed workload mix of :mod:`repro.serving.loadgen`::
+
+      python -m repro serve dblp-index.json.gz --port 8080 --workers 4
+      python -m repro loadtest --duration 10 --concurrency 8
+
 Everything is built on the unified client facade (:func:`repro.connect` /
 :func:`repro.open`); ``--json`` prints typed results through
 :meth:`repro.QueryResult.to_json`.
@@ -55,10 +63,19 @@ from repro.experiments import (
     report,
     scalability_index_build,
     serving_cold_warm,
+    serving_http_loopback,
 )
 
 #: Sub-commands handled by the serving parser rather than the experiment one.
-SERVING_COMMANDS = ("save-index", "build-index", "extend-index", "load-index", "serve-batch")
+SERVING_COMMANDS = (
+    "save-index",
+    "build-index",
+    "extend-index",
+    "load-index",
+    "serve-batch",
+    "serve",
+    "loadtest",
+)
 
 #: Exit codes: success / user error / internal error.
 EXIT_OK = 0
@@ -108,6 +125,7 @@ def _runners() -> dict[str, Callable[[argparse.Namespace], list]]:
         "fig11": lambda args: [fig11_affiliation_of_author(_full(args))],
         "scalability": lambda args: [scalability_index_build(_full(args))],
         "serving": lambda args: [serving_cold_warm(_full(args))],
+        "serving-http": lambda args: [serving_http_loopback(_full(args))],
     }
 
 
@@ -200,6 +218,61 @@ def build_serving_parser() -> argparse.ArgumentParser:
     batch.add_argument("--repeat", type=int, default=2, help="rounds (first cold, rest warm)")
     batch.add_argument(
         "--json", action="store_true", help="print per-round typed results as JSON documents"
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a ProbDB over JSON-HTTP (query/query_batch/extend/stats/healthz/metrics)",
+    )
+    serve.add_argument(
+        "artifact",
+        nargs="?",
+        default=None,
+        help="artifact written by save-index (omit to build a DBLP workload in-process)",
+    )
+    serve.add_argument("--groups", type=int, default=8, help="DBLP groups when building in-process")
+    serve.add_argument("--seed", type=int, default=0, help="generator seed")
+    serve.add_argument(
+        "--views", default="V1,V2,V3", help="comma-separated MarkoViews for the in-process build"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=4, help="dispatch worker threads")
+    serve.add_argument(
+        "--max-queue", type=int, default=64, help="admission limit (queued + running requests)"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=None, help="per-worker session LRU capacity"
+    )
+    serve.add_argument("--verbose", action="store_true", help="log one line per request")
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="drive a running 'repro serve' with the zipf-skewed DBLP workload mix",
+    )
+    loadtest.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="base URL of the running server"
+    )
+    loadtest.add_argument(
+        "--mode", choices=("closed", "open"), default="closed", help="load loop discipline"
+    )
+    loadtest.add_argument("--duration", type=float, default=10.0, help="seconds to run")
+    loadtest.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop workers / open-loop outstanding cap"
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=50.0, help="open-loop arrival rate (requests/second)"
+    )
+    loadtest.add_argument(
+        "--entities", type=int, default=8, help="distinct query entities per template"
+    )
+    loadtest.add_argument(
+        "--zipf", type=float, default=1.1, help="zipf exponent of the entity popularity skew"
+    )
+    loadtest.add_argument("--method", default="mvindex", help="evaluation method")
+    loadtest.add_argument("--seed", type=int, default=0, help="workload sampling seed")
+    loadtest.add_argument(
+        "--json", action="store_true", help="print the load report as a JSON document"
     )
     return parser
 
@@ -329,6 +402,98 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import repro
+    from repro.dblp.config import DblpConfig
+    from repro.dblp.workload import build_mvdb
+    from repro.serving.server import ProbServer
+
+    def extender(spec: dict) -> object:
+        # /v1/extend spec -> MVDB: rebuild the synthetic DBLP workload with
+        # the requested (superset) view set over the same base data.
+        views = spec.get("views", ["V1", "V2", "V3"])
+        if not isinstance(views, list) or not all(isinstance(view, str) for view in views):
+            from repro.errors import ServingError
+
+            raise ServingError("'views' must be a list of MarkoView names")
+        groups = spec.get("groups", args.groups)
+        seed = spec.get("seed", args.seed)
+        if not isinstance(groups, int) or not isinstance(seed, int):
+            from repro.errors import ServingError
+
+            raise ServingError("'groups' and 'seed' must be integers")
+        return build_mvdb(
+            DblpConfig(group_count=groups, seed=seed), include_views=tuple(views)
+        ).mvdb
+
+    if args.artifact is not None:
+        engine = repro.open(args.artifact).engine
+        source = args.artifact
+    else:
+        views = tuple(name.strip() for name in args.views.split(",") if name.strip())
+        workload = build_mvdb(
+            DblpConfig(group_count=args.groups, seed=args.seed), include_views=views
+        )
+        engine = repro.connect(workload.mvdb).engine
+        source = f"in-process DBLP workload (groups={args.groups}, views={','.join(views)})"
+    server = ProbServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        cache_size=args.cache_size,
+        extender=extender,
+        verbose=args.verbose,
+    )
+    server.dispatcher.warm()
+    # The URL line goes out first (and flushed) so scripts that started this
+    # process with --port 0 can read the bound address.
+    print(f"serving {source}", flush=True)
+    print(f"listening on {server.url} (workers={args.workers}, max_queue={args.max_queue})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.stop()
+    return EXIT_OK
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.serving.loadgen import WorkloadMix, run_closed, run_open
+
+    mix = WorkloadMix(entities=args.entities, zipf_exponent=args.zipf)
+    if args.mode == "closed":
+        load_report = run_closed(
+            args.url,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            mix=mix,
+            method=args.method,
+            seed=args.seed,
+        )
+    else:
+        load_report = run_open(
+            args.url,
+            duration_s=args.duration,
+            rate=args.rate,
+            mix=mix,
+            method=args.method,
+            seed=args.seed,
+            max_outstanding=args.concurrency,
+        )
+    if args.json:
+        print(json.dumps(load_report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(load_report.render())
+    if not load_report.error_free:
+        print("loadtest saw server-side or transport errors", file=sys.stderr)
+        return EXIT_USER
+    return EXIT_OK
+
+
 def _serving_main(argv: list[str]) -> int:
     args = _parse_args(build_serving_parser(), argv)
     handlers = {
@@ -337,6 +502,8 @@ def _serving_main(argv: list[str]) -> int:
         "extend-index": _cmd_extend_index,
         "load-index": _cmd_load_index,
         "serve-batch": _cmd_serve_batch,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
     }
     return handlers[args.command](args)
 

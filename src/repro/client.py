@@ -24,15 +24,19 @@ the pluggable registry in :mod:`repro.methods`.
 
 from __future__ import annotations
 
+import json
+import urllib.error
+import urllib.request
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro import errors as _errors
 from repro.core.engine import MVQueryEngine
 from repro.core.mvdb import MVDB
-from repro.errors import ClientError
+from repro.errors import ClientError, InferenceError, ServingError
 from repro.query.cq import ConjunctiveQuery
-from repro.query.parser import parse_query
-from repro.query.ucq import UCQ
+from repro.query.parser import parse_query, to_datalog
+from repro.query.ucq import UCQ, as_ucq
 from repro.results import QueryResult
 from repro.serving.artifact import load_engine, save_engine
 from repro.serving.session import DEFAULT_CACHE_SIZE, PreparedQuery, QuerySession
@@ -201,3 +205,160 @@ def connect(
 def open_artifact(path: str | Path, cache_size: int = DEFAULT_CACHE_SIZE) -> ProbDB:
     """Cold-start a :class:`ProbDB` from a saved artifact (``repro.open``)."""
     return connect(artifact=path, cache_size=cache_size)
+
+
+# ----------------------------------------------------------------- transport
+#: Wire error type → library exception class, e.g. ``"parse_error"`` →
+#: :class:`~repro.errors.ParseError`; built from the whole hierarchy with
+#: the same :func:`repro.errors.wire_name` the server writes with, so the
+#: remote client re-raises exactly what the in-process facade would raise.
+_WIRE_ERRORS: dict[str, type] = {
+    _errors.wire_name(value): value
+    for value in vars(_errors).values()
+    if isinstance(value, type) and issubclass(value, _errors.ReproError)
+}
+
+
+class RemoteProbDB:
+    """A thin HTTP-backed mirror of :class:`ProbDB` (``repro.connect_remote``).
+
+    Speaks the JSON protocol of :class:`repro.serving.server.ProbServer`.
+    Queries may be datalog strings or parsed UCQ objects (serialized with
+    :func:`repro.query.to_datalog`); results come back as the same typed
+    :class:`~repro.results.QueryResult` objects the in-process facade
+    returns, with byte-identical answers and probabilities.  Server-side
+    library errors are re-raised client-side as the matching
+    :class:`~repro.errors.ReproError` subclass, so code written against the
+    in-process facade runs unchanged against either transport.
+    """
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        self._url = url.rstrip("/")
+        self._timeout = timeout
+        health = self.healthz()
+        if health.get("status") != "ok":
+            raise ServingError(f"server at {self._url} is not healthy: {health!r}")
+
+    # ------------------------------------------------------------------- wire
+    @property
+    def url(self) -> str:
+        """The server's base URL."""
+        return self._url
+
+    def _request(self, path: str, payload: dict[str, Any] | None = None) -> Any:
+        request = urllib.request.Request(
+            self._url + path,
+            data=None if payload is None else json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="GET" if payload is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            self._raise_wire_error(exc)
+        except urllib.error.URLError as exc:
+            raise ServingError(f"cannot reach {self._url}: {exc.reason}") from None
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServingError(f"invalid JSON from {self._url + path}: {exc}") from None
+
+    def _raise_wire_error(self, exc: "urllib.error.HTTPError") -> "Any":
+        try:
+            document = json.loads(exc.read())
+            error = document["error"]
+            error_type, message = error["type"], error["message"]
+        except Exception:
+            raise ServingError(f"HTTP {exc.code} from {self._url}") from None
+        exception_class = _WIRE_ERRORS.get(error_type)
+        if exception_class is _errors.AdmissionError:
+            retry_after = float(exc.headers.get("Retry-After", 1.0))
+            raise _errors.AdmissionError(message, retry_after=retry_after) from None
+        if exception_class is not None:
+            raise exception_class(message) from None
+        raise ServingError(f"HTTP {exc.code} ({error_type}): {message}") from None
+
+    @staticmethod
+    def _as_wire_query(query: Any) -> str:
+        return query if isinstance(query, str) else to_datalog(query)
+
+    # ---------------------------------------------------------------- queries
+    def query(self, query: "str | UCQ | ConjunctiveQuery", method: str = "mvindex") -> QueryResult:
+        """Typed probabilities of every answer of ``query``, over HTTP."""
+        document = self._request(
+            "/v1/query", {"query": self._as_wire_query(query), "method": method}
+        )
+        return QueryResult.from_json(document["result"])
+
+    def query_batch(
+        self,
+        queries: Sequence["str | UCQ | ConjunctiveQuery"],
+        method: str = "mvindex",
+        workers: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer many queries with one server-side shared relational pass."""
+        payload: dict[str, Any] = {
+            "queries": [self._as_wire_query(query) for query in queries],
+            "method": method,
+        }
+        if workers is not None:
+            payload["workers"] = workers
+        document = self._request("/v1/query_batch", payload)
+        return [QueryResult.from_json(entry) for entry in document["results"]]
+
+    def boolean_probability(
+        self, query: "str | UCQ | ConjunctiveQuery", method: str = "mvindex"
+    ) -> float:
+        """``P(Q)`` for a Boolean query (0.0 if it has no derivations)."""
+        ucq = as_ucq(parse_query(query)) if isinstance(query, str) else as_ucq(query)
+        if not ucq.is_boolean:
+            raise InferenceError(
+                f"boolean_probability requires a Boolean query, but {ucq.name!r} has "
+                f"free head variables {tuple(v.name for v in ucq.head)}"
+            )
+        return self.query(ucq, method=method).probability(())
+
+    # -------------------------------------------------------------- mutation
+    def extend(self, spec: Mapping[str, Any]) -> int:
+        """Extend the server's view set; returns the number of new components.
+
+        Unlike :meth:`ProbDB.extend`, which takes an in-process MVDB, the
+        remote mirror ships a JSON *extension spec* that the server's
+        configured extender turns into an MVDB (for ``python -m repro
+        serve`` that is ``{"groups": ..., "seed": ..., "views": [...]}``).
+        """
+        document = self._request("/v1/extend", dict(spec))
+        return document["added_components"]
+
+    # ------------------------------------------------------------ inspection
+    def stats(self) -> dict[str, Any]:
+        """The server's ``/v1/stats`` document (serving-tier statistics)."""
+        return self._request("/v1/stats")
+
+    def healthz(self) -> dict[str, Any]:
+        """The server's liveness document."""
+        return self._request("/healthz")
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus-style metrics exposition."""
+        request = urllib.request.Request(self._url + "/metrics")
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServingError(f"cannot reach {self._url}: {exc}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteProbDB({self._url!r})"
+
+
+def connect_remote(url: str, timeout: float = 60.0) -> RemoteProbDB:
+    """Open a :class:`RemoteProbDB` against a running ``repro serve`` server.
+
+    The mirror of :func:`repro.connect` for the network boundary: the same
+    query surface, served over HTTP by a process started with
+    ``python -m repro serve`` (or an embedded
+    :class:`repro.serving.server.ProbServer`).
+    """
+    return RemoteProbDB(url, timeout=timeout)

@@ -9,6 +9,21 @@ probabilistic inference).
 
 from __future__ import annotations
 
+import re
+
+
+def wire_name(exception_class: type) -> str:
+    """The HTTP wire name of an exception class: ``ParseError`` → ``parse_error``.
+
+    The one definition shared by the server (writing ``error.type`` into
+    response bodies) and the remote client (mapping it back onto this
+    hierarchy), so the two cannot drift apart.
+    """
+    name = exception_class.__name__
+    if name.endswith("Error"):
+        name = name[: -len("Error")] + "_error"
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
 
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
@@ -48,6 +63,22 @@ class ArtifactError(ReproError):
 
 class ClientError(ReproError):
     """The client facade (``repro.connect`` / ``repro.open``) was misused."""
+
+
+class ServingError(ReproError):
+    """The over-the-wire serving tier failed or refused a request."""
+
+
+class AdmissionError(ServingError):
+    """The serving tier's bounded request queue is full (HTTP 429).
+
+    ``retry_after`` is the server's estimate, in seconds, of when capacity
+    will be available again; the HTTP layer forwards it as ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class InferenceError(ReproError):

@@ -9,6 +9,7 @@ from repro.experiments.queries import (
     full_workload,
     scalability_index_build,
     serving_cold_warm,
+    serving_http_loopback,
 )
 from repro.experiments.sweeps import (
     SweepSettings,
@@ -39,6 +40,7 @@ __all__ = [
     "report",
     "scalability_index_build",
     "serving_cold_warm",
+    "serving_http_loopback",
     "sweep_aid_values",
     "time_call",
 ]

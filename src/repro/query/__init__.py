@@ -11,7 +11,7 @@ from repro.query.evaluator import (
     evaluate_cq,
     evaluate_ucq,
 )
-from repro.query.parser import parse_query, parse_rule
+from repro.query.parser import parse_query, parse_rule, to_datalog
 from repro.query.terms import Constant, Term, Variable, is_constant, is_variable, make_term
 from repro.query.ucq import UCQ, UnionOfConjunctiveQueries, as_ucq
 
@@ -37,4 +37,5 @@ __all__ = [
     "make_term",
     "parse_query",
     "parse_rule",
+    "to_datalog",
 ]

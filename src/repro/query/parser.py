@@ -176,3 +176,57 @@ def parse_query(text: str | Iterable[str], name: str | None = None) -> UCQ:
     if len(names) != 1:
         raise ParseError(f"all rules of a UCQ must share the same head predicate, got {names}")
     return UCQ(disjuncts, name=name or disjuncts[0].name)
+
+
+# ----------------------------------------------------------------- rendering
+def _render_term(term: Any) -> str:
+    from repro.query.terms import is_variable
+
+    if is_variable(term):
+        return term.name
+    value = term.value
+    if isinstance(value, str):
+        # The tokenizer strips quotes without unescaping, so a value can only
+        # travel inside the quote character it does not itself contain, and a
+        # trailing backslash would escape the closing quote.
+        if value.endswith("\\"):
+            raise ParseError(f"cannot serialize constant {value!r}: ends with a backslash")
+        if "'" not in value:
+            return f"'{value}'"
+        if '"' not in value:
+            return f'"{value}"'
+        raise ParseError(f"cannot serialize constant {value!r}: contains both quote kinds")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ParseError(f"cannot serialize constant {value!r} as a datalog term")
+    rendered = repr(value)
+    if not re.fullmatch(r"-?\d+(\.\d+)?", rendered):
+        raise ParseError(f"cannot serialize numeric constant {value!r} as a datalog term")
+    return rendered
+
+
+def _render_rule(cq: ConjunctiveQuery) -> str:
+    head = cq.name
+    if cq.head:
+        head += "(" + ", ".join(v.name for v in cq.head) + ")"
+    body = [
+        f"{atom.relation}(" + ", ".join(_render_term(t) for t in atom.terms) + ")"
+        for atom in cq.atoms
+    ]
+    body += [
+        f"{_render_term(c.left)} {c.op} {_render_term(c.right)}" for c in cq.comparisons
+    ]
+    return f"{head} :- " + ", ".join(body)
+
+
+def to_datalog(query: "UCQ | ConjunctiveQuery") -> str:
+    """Render a parsed query back to datalog text (inverse of :func:`parse_query`).
+
+    ``parse_query(to_datalog(q))`` reconstructs a query with the same
+    canonical form, so parsed queries can travel over text-only transports
+    (the HTTP serving protocol uses this).  Constants containing both quote
+    characters, and floats without a plain decimal notation, cannot be
+    tokenized by the parser and raise :class:`~repro.errors.ParseError`.
+    """
+    if isinstance(query, ConjunctiveQuery):
+        return _render_rule(query)
+    return " ; ".join(_render_rule(cq) for cq in query.disjuncts)

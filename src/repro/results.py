@@ -130,6 +130,36 @@ class QueryResult:
             ],
         }
 
+    @classmethod
+    def from_json(cls, document: dict[str, Any]) -> "QueryResult":
+        """Rebuild a result from its :meth:`to_json` document.
+
+        The inverse of :meth:`to_json` up to tuple-versus-list answer values
+        (JSON has no tuples); used by the HTTP client to return the same
+        typed results over the wire that the in-process facade returns.
+        """
+        try:
+            answers = tuple(
+                Answer(
+                    values=tuple(entry["values"]),
+                    probability=entry["probability"],
+                    lineage_size=entry.get("lineage_size", 0),
+                )
+                for entry in document["answers"]
+            )
+            return cls(
+                answers=answers,
+                method=document["method"],
+                exact=document.get("exact", True),
+                cached=document.get("cached", False),
+                wall_time=document.get("wall_time_ms", 0.0) / 1000.0,
+                obdd_nodes=document.get("obdd_nodes", 0),
+                steps=document.get("steps", 0),
+                touched_components=document.get("touched_components", 0),
+            )
+        except (KeyError, TypeError) as exc:
+            raise InferenceError(f"malformed QueryResult document: {exc!r}") from None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         provenance = "cached" if self.cached else "computed"
         return (

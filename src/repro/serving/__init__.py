@@ -11,7 +11,14 @@ serving story:
   re-phrased queries share cache entries;
 * :mod:`repro.serving.session` — a thread-safe :class:`QuerySession` with
   LRU result/lineage caches, prepared-query handles, and a batch API that
-  shares one relational evaluation pass across many queries.
+  shares one relational evaluation pass across many queries;
+* :mod:`repro.serving.dispatch` — admission control (bounded queue →
+  429), per-worker session affinity, coalescing of identical in-flight
+  queries, a raw-text cache tier, and the serving metrics registry;
+* :mod:`repro.serving.server` — the stdlib-only JSON-over-HTTP server
+  (``python -m repro serve``; see ``docs/serving.md``);
+* :mod:`repro.serving.loadgen` — closed- and open-loop load generation
+  with a zipf-skewed DBLP workload mix (``python -m repro loadtest``).
 
 .. deprecated::
     Package-level re-exports from ``repro.serving`` (``QuerySession``,

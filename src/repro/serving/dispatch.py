@@ -1,0 +1,700 @@
+"""Admission-controlled request dispatch for the HTTP serving tier.
+
+The :class:`Dispatcher` sits between the HTTP handlers and the query
+engine and adds everything a network-facing serving process needs that a
+bare :class:`~repro.serving.session.QuerySession` does not have:
+
+* a **bounded request queue with admission control** — when the number of
+  queued-plus-running requests reaches ``max_queue``, new submissions are
+  refused with :class:`~repro.errors.AdmissionError` (surfaced as HTTP 429
+  with a ``Retry-After`` estimate) instead of building an unbounded backlog;
+* **per-worker session affinity** — each worker thread owns its own
+  :class:`QuerySession`; requests are routed by a stable hash of their
+  canonical UCQ key, so repeats of the same (or a re-phrased) query always
+  land on the worker whose caches are hot for it;
+* **request coalescing** — identical in-flight canonical queries share one
+  computation: followers attach to the leader's future instead of queueing
+  duplicate work;
+* a **string-tier result cache** — an LRU from the raw query text to the
+  finished :class:`~repro.results.QueryResult`, which skips even the
+  datalog parse on exact-text repeats (the hottest path under skewed
+  traffic).  Tiers below it are the session's canonical result cache and
+  lineage cache, giving three cache tiers with per-tier hit accounting;
+* a **single-writer lock and a generation counter** — ``extend()`` runs
+  under the writer side of a read/write lock while queries hold the reader
+  side, and every tier's invalidation goes through one path: bump the
+  generation, clear the string tier and the coalescing table, and
+  invalidate every session (which bumps the sessions' own generations).
+  Each request snapshots the generation before computing and re-checks it
+  before publishing to a cache, so an ``extend()`` racing a query can never
+  leave a stale probability behind;
+* a **metrics registry** — qps, latency percentiles, per-tier cache hit
+  ratios, queue depth and rejection counts, exposed as a JSON document
+  (``/v1/stats``) and as Prometheus-style text (``/metrics``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import queue
+import threading
+import time
+import zlib
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+from repro.core.engine import MVQueryEngine
+from repro.core.mvdb import MVDB
+from repro.errors import AdmissionError, ServingError
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.query.ucq import UCQ, as_ucq
+from repro.results import QueryResult
+from repro.serving.canonical import canonical_key
+from repro.serving.session import DEFAULT_CACHE_SIZE, QuerySession
+
+#: Default number of worker threads (each owns one QuerySession).
+DEFAULT_WORKERS = 4
+#: Default admission limit: queued + running requests beyond this are 429'd.
+DEFAULT_MAX_QUEUE = 64
+#: Default seconds a caller waits for its future before giving up.
+DEFAULT_TIMEOUT = 120.0
+#: Entries of the raw-query-text result cache (tier 0).
+DEFAULT_STRING_CACHE_SIZE = 1024
+#: Latency reservoir size for the percentile estimates.
+_LATENCY_WINDOW = 4096
+#: Sliding window (seconds) over which instantaneous qps is measured.
+_QPS_WINDOW = 10.0
+
+#: The cache tiers reported by :meth:`Dispatcher.stats`, hottest first.
+CACHE_TIERS = ("string", "result", "lineage")
+
+
+class _ReadWriteLock:
+    """A writer-preferring read/write lock.
+
+    Readers share the lock (queries keep flowing past each other); a writer
+    (``extend``) excludes readers and other writers.  Writer preference
+    keeps a steady read load from starving the writer forever.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if not self._readers:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+
+def percentile(ordered: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence (0.0 if empty).
+
+    Shared by the dispatcher's metrics registry and the load generator's
+    report summaries.
+    """
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, math.ceil(quantile * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def latency_summary(ordered_seconds: Sequence[float]) -> dict[str, float]:
+    """The standard latency document over an already-sorted seconds list.
+
+    One definition for both ``/v1/stats`` and the load generator's reports,
+    so the smoke test always compares like with like.
+    """
+    mean = sum(ordered_seconds) / len(ordered_seconds) if ordered_seconds else 0.0
+    return {
+        "count": len(ordered_seconds),
+        "p50_ms": percentile(ordered_seconds, 0.50) * 1000.0,
+        "p95_ms": percentile(ordered_seconds, 0.95) * 1000.0,
+        "p99_ms": percentile(ordered_seconds, 0.99) * 1000.0,
+        "mean_ms": mean * 1000.0,
+        "max_ms": (ordered_seconds[-1] if ordered_seconds else 0.0) * 1000.0,
+    }
+
+
+class MetricsRegistry:
+    """Thread-safe serving metrics: counters, latency reservoir, qps window.
+
+    All latencies are recorded in seconds and reported in milliseconds.
+    Counters are monotonic for the life of the process — the CI load smoke
+    polls ``/v1/stats`` and fails if any of them ever decreases.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started = time.monotonic()
+        self.requests_total = 0
+        self.answers_total = 0
+        self.rejected_total = 0
+        self.coalesced_total = 0
+        self.errors_total = 0
+        self.responses_by_status: dict[int, int] = {}
+        # Only the dispatcher's own string tier is counted here; the result
+        # and lineage tiers keep their counters in the per-session
+        # statistics (aggregated by Dispatcher.cache_stats), so mirroring
+        # them here would just create a second, disagreeing copy.
+        self.tier_hits: dict[str, int] = {}
+        self.tier_misses: dict[str, int] = {}
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._completions: deque[float] = deque(maxlen=65536)
+
+    # ------------------------------------------------------------- recording
+    def observe_request(self, latency_s: float, answers: int = 0) -> None:
+        """Record one successfully served query (or batch member)."""
+        with self._lock:
+            self.requests_total += 1
+            self.answers_total += answers
+            self._latencies.append(latency_s)
+            self._completions.append(time.monotonic())
+
+    def observe_rejected(self) -> None:
+        with self._lock:
+            self.rejected_total += 1
+
+    def observe_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced_total += 1
+
+    def observe_error(self) -> None:
+        with self._lock:
+            self.errors_total += 1
+
+    def observe_response(self, status: int) -> None:
+        """Record the HTTP status of one response (called by the server)."""
+        with self._lock:
+            self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
+
+    def observe_tier(self, tier: str, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.tier_hits[tier] = self.tier_hits.get(tier, 0) + 1
+            else:
+                self.tier_misses[tier] = self.tier_misses.get(tier, 0) + 1
+
+    # ------------------------------------------------------------- reporting
+    def uptime_s(self) -> float:
+        """Seconds since the registry was created (cheap; for liveness)."""
+        return max(time.monotonic() - self.started, 1e-6)
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99/mean/max over the reservoir, in milliseconds."""
+        with self._lock:
+            sample = sorted(self._latencies)
+        return latency_summary(sample)
+
+    def qps(self) -> float:
+        """Requests per second over the trailing measurement window."""
+        now = time.monotonic()
+        with self._lock:
+            while self._completions and now - self._completions[0] > _QPS_WINDOW:
+                self._completions.popleft()
+            recent = len(self._completions)
+        window = min(_QPS_WINDOW, max(now - self.started, 1e-6))
+        return recent / window
+
+    def snapshot(self) -> dict[str, Any]:
+        """All counters plus derived rates, as one JSON-safe document."""
+        uptime = self.uptime_s()
+        with self._lock:
+            statuses = {str(status): count for status, count in self.responses_by_status.items()}
+            counters = {
+                "requests_total": self.requests_total,
+                "answers_total": self.answers_total,
+                "rejected_total": self.rejected_total,
+                "coalesced_total": self.coalesced_total,
+                "errors_total": self.errors_total,
+            }
+        return {
+            "uptime_s": uptime,
+            "qps": self.qps(),
+            "lifetime_qps": counters["requests_total"] / uptime,
+            **counters,
+            "responses_by_status": statuses,
+            "latency": self.latency_percentiles(),
+        }
+
+
+@dataclasses.dataclass
+class _Job:
+    """One unit of work queued to a dispatch worker."""
+
+    kind: str  # "query" | "batch"
+    payload: Any
+    method: str
+    raw: str | None
+    coalesce_key: tuple[Any, ...] | None
+    future: "Future[tuple[Any, int]]"
+
+
+class Dispatcher:
+    """Admission control, affinity, coalescing and metrics over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The (shared, read-mostly) query engine to serve from.
+    workers:
+        Worker threads; each owns a :class:`QuerySession` whose caches stay
+        hot thanks to canonical-key affinity routing.
+    max_queue:
+        Admission limit on queued-plus-running requests; beyond it,
+        :meth:`submit` raises :class:`~repro.errors.AdmissionError`.
+    cache_size:
+        Capacity of each per-worker session LRU (results and lineages).
+    string_cache_size:
+        Capacity of the shared raw-text result cache (tier 0).
+    """
+
+    def __init__(
+        self,
+        engine: MVQueryEngine,
+        workers: int = DEFAULT_WORKERS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        string_cache_size: int = DEFAULT_STRING_CACHE_SIZE,
+    ) -> None:
+        if workers < 1:
+            raise ServingError(f"dispatcher needs at least one worker, got {workers}")
+        self.engine = engine
+        self.max_queue = max_queue
+        self.metrics = MetricsRegistry()
+        self.sessions = [QuerySession(engine, cache_size=cache_size) for _ in range(workers)]
+        self._rwlock = _ReadWriteLock()
+        self._state = threading.Lock()
+        self._generation = 0
+        self._pending = 0
+        self._inflight: dict[tuple[Any, ...], Future] = {}
+        self._retry_hint: tuple[float, float] = (-10.0, 0.0)  # (refreshed_at, p50_s)
+        self._string_cache: "OrderedDict[tuple[Any, ...], QueryResult]" = OrderedDict()
+        self._string_cache_size = string_cache_size
+        self._queues: list["queue.SimpleQueue[_Job | None]"] = [
+            queue.SimpleQueue() for _ in range(workers)
+        ]
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker_loop, args=(index,), daemon=True)
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ---------------------------------------------------------------- basics
+    @property
+    def generation(self) -> int:
+        """The invalidation epoch; bumped by every :meth:`extend`."""
+        with self._state:
+            return self._generation
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued or running."""
+        with self._state:
+            return self._pending
+
+    def warm(self) -> None:
+        """Warm every worker session so first requests only read."""
+        for session in self.sessions:
+            session.warm()
+
+    def close(self) -> None:
+        """Stop the worker threads (idempotent)."""
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+        for worker_queue in self._queues:
+            worker_queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------ submission
+    def _as_ucq(self, query: "str | UCQ | ConjunctiveQuery") -> UCQ:
+        if isinstance(query, str):
+            return as_ucq(parse_query(query))
+        return as_ucq(query)
+
+    def _worker_for(self, key: str) -> int:
+        # A stable (process-independent) hash so a canonical query always
+        # lands on the session whose caches already hold it.
+        return zlib.crc32(key.encode("utf-8")) % len(self.sessions)
+
+    def _retry_after(self, depth: int) -> float:
+        # Called with self._state held — must not re-acquire it.  Under
+        # overload every 429 lands here, so the p50 (which costs a sort of
+        # the latency reservoir) is refreshed at most once per second
+        # instead of per rejection.
+        now = time.monotonic()
+        refreshed_at, p50_s = self._retry_hint
+        if now - refreshed_at > 1.0:
+            p50_s = self.metrics.latency_percentiles()["p50_ms"] / 1000.0
+            self._retry_hint = (now, p50_s)
+        estimate = depth * max(p50_s, 0.005) / len(self.sessions)
+        return min(30.0, max(1.0, math.ceil(estimate)))
+
+    def _string_get(self, generation: int, raw: str, method: str) -> QueryResult | None:
+        entry = self._string_cache.get((generation, raw, method))
+        if entry is not None:
+            self._string_cache.move_to_end((generation, raw, method))
+        return entry
+
+    def _string_put(self, generation: int, raw: str, method: str, result: QueryResult) -> None:
+        self._string_cache[(generation, raw, method)] = result
+        self._string_cache.move_to_end((generation, raw, method))
+        while len(self._string_cache) > self._string_cache_size:
+            self._string_cache.popitem(last=False)
+
+    def submit(
+        self, query: "str | UCQ | ConjunctiveQuery", method: str = "mvindex"
+    ) -> "Future[tuple[QueryResult, int]]":
+        """Enqueue one query; returns a future of ``(result, generation)``.
+
+        Raises :class:`~repro.errors.AdmissionError` when the bounded queue
+        is full, and parse/method errors synchronously (they are the
+        caller's to map to HTTP 400).  Identical in-flight canonical queries
+        are coalesced onto one future.
+        """
+        if self._closed:
+            raise ServingError("dispatcher is closed")
+        raw = query.strip() if isinstance(query, str) else None
+        if raw is not None:
+            with self._state:
+                cached = self._string_get(self._generation, raw, method)
+                if cached is not None:
+                    generation = self._generation
+                    self.metrics.observe_tier("string", True)
+                    future: "Future[tuple[QueryResult, int]]" = Future()
+                    future.set_result(
+                        (dataclasses.replace(cached, cached=True, wall_time=0.0), generation)
+                    )
+                    return future
+            self.metrics.observe_tier("string", False)
+        ucq = self._as_ucq(query)
+        self.engine.resolve_method(method)  # fail unknown methods before queueing
+        self.engine.validate_query(ucq)
+        key = canonical_key(ucq)
+        worker = self._worker_for(key)
+        with self._state:
+            coalesce_key = (self._generation, key, method)
+            existing = self._inflight.get(coalesce_key)
+            if existing is not None:
+                self.metrics.observe_coalesced()
+                return existing
+            if self._pending >= self.max_queue:
+                self.metrics.observe_rejected()
+                raise AdmissionError(
+                    f"request queue is full ({self._pending}/{self.max_queue})",
+                    retry_after=self._retry_after(self._pending),
+                )
+            future = Future()
+            self._inflight[coalesce_key] = future
+            self._pending += 1
+        self._queues[worker].put(
+            _Job(
+                kind="query",
+                payload=ucq,
+                method=method,
+                raw=raw,
+                coalesce_key=coalesce_key,
+                future=future,
+            )
+        )
+        return future
+
+    def execute(
+        self,
+        query: "str | UCQ | ConjunctiveQuery",
+        method: str = "mvindex",
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> tuple[QueryResult, int]:
+        """Submit and wait; returns ``(result, generation)`` and records metrics."""
+        start = time.monotonic()
+        # Admission refusals and parse/method mistakes propagate from
+        # submit() without touching errors_total — they are the caller's
+        # (HTTP 4xx), not failures of the serving tier.
+        future = self.submit(query, method=method)
+        try:
+            result, generation = future.result(timeout=timeout)
+        except Exception:
+            self.metrics.observe_error()
+            raise
+        self.metrics.observe_request(time.monotonic() - start, answers=len(result))
+        return result, generation
+
+    def execute_batch(
+        self,
+        queries: Sequence["str | UCQ | ConjunctiveQuery"],
+        method: str = "mvindex",
+        workers: int | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> tuple[list[QueryResult], int]:
+        """One shared relational pass for a whole batch (admitted as one job).
+
+        The batch routes to a single worker session (chosen by the combined
+        canonical key) so its cache stays hot for the batch's query mix.
+        """
+        if self._closed:
+            raise ServingError("dispatcher is closed")
+        start = time.monotonic()
+        ucqs = [self._as_ucq(query) for query in queries]
+        self.engine.resolve_method(method)
+        for ucq in ucqs:
+            self.engine.validate_query(ucq)
+        keys = "|".join(canonical_key(ucq) for ucq in ucqs)
+        worker = self._worker_for(keys)
+        with self._state:
+            if self._pending >= self.max_queue:
+                self.metrics.observe_rejected()
+                raise AdmissionError(
+                    f"request queue is full ({self._pending}/{self.max_queue})",
+                    retry_after=self._retry_after(self._pending),
+                )
+            future: "Future[tuple[list[QueryResult], int]]" = Future()
+            self._pending += 1
+        self._queues[worker].put(
+            _Job(
+                kind="batch",
+                payload=(ucqs, workers),
+                method=method,
+                raw=None,
+                coalesce_key=None,
+                future=future,
+            )
+        )
+        try:
+            results, generation = future.result(timeout=timeout)
+        except Exception:
+            self.metrics.observe_error()
+            raise
+        elapsed = time.monotonic() - start
+        for result in results:
+            self.metrics.observe_request(elapsed / max(len(results), 1), answers=len(result))
+        return results, generation
+
+    # ---------------------------------------------------------------- worker
+    def _worker_loop(self, index: int) -> None:
+        session = self.sessions[index]
+        jobs = self._queues[index]
+        while True:
+            job = jobs.get()
+            if job is None:
+                return
+            outcome: BaseException | tuple[Any, int]
+            try:
+                with self._rwlock.read_locked():
+                    # Generation cannot change while we hold the read side
+                    # (extend needs the write side), so the snapshot below is
+                    # the generation this computation is valid for.
+                    with self._state:
+                        generation = self._generation
+                    if job.kind == "query":
+                        value = session.execute(job.payload, method=job.method)
+                    else:
+                        ucqs, batch_workers = job.payload
+                        value = session.execute_batch(
+                            ucqs, method=job.method, workers=batch_workers
+                        )
+                outcome = (value, generation)
+            except BaseException as exc:  # surfaced through the future
+                outcome = exc
+            with self._state:
+                if job.coalesce_key is not None:
+                    self._inflight.pop(job.coalesce_key, None)
+                self._pending -= 1
+                if (
+                    not isinstance(outcome, BaseException)
+                    and job.raw is not None
+                    # Per-request generation check: publish to the string
+                    # tier only if no extend() invalidated the engine since
+                    # this result was computed.
+                    and outcome[1] == self._generation
+                ):
+                    self._string_put(outcome[1], job.raw, job.method, outcome[0])
+            if isinstance(outcome, BaseException):
+                job.future.set_exception(outcome)
+            else:
+                job.future.set_result(outcome)
+
+    # -------------------------------------------------------------- mutation
+    def extend(self, mvdb: MVDB) -> tuple[list[int], int]:
+        """Extend the engine's view set; the one shared invalidation path.
+
+        Runs under the writer side of the read/write lock (queries hold the
+        reader side), then — still exclusively — bumps the generation,
+        clears the string tier and the coalescing table, and invalidates
+        every worker session.  Returns ``(added component keys, new
+        generation)``.
+        """
+        with self._rwlock.write_locked():
+            added = self.engine.extend_views(mvdb)
+            with self._state:
+                self._generation += 1
+                generation = self._generation
+                self._string_cache.clear()
+                self._inflight.clear()
+            for session in self.sessions:
+                session.invalidate()
+        return added, generation
+
+    # ------------------------------------------------------------ inspection
+    def cache_stats(self) -> dict[str, Any]:
+        """Per-tier hit/miss counts and ratios (string, result, lineage)."""
+        result_hits = result_misses = lineage_hits = lineage_misses = 0
+        entries = {"result": 0, "lineage": 0}
+        for session in self.sessions:
+            info = session.cache_info()
+            result_hits += info["result_hits"]
+            result_misses += info["result_misses"]
+            lineage_hits += info["lineage_hits"]
+            lineage_misses += info["lineage_misses"]
+            entries["result"] += info["result_entries"]
+            entries["lineage"] += info["lineage_entries"]
+        with self._state:
+            string_entries = len(self._string_cache)
+        string_hits = self.metrics.tier_hits.get("string", 0)
+        string_misses = self.metrics.tier_misses.get("string", 0)
+
+        def tier(hits: int, misses: int, count: int) -> dict[str, Any]:
+            total = hits + misses
+            return {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": hits / total if total else 0.0,
+                "entries": count,
+            }
+
+        return {
+            "string": tier(string_hits, string_misses, string_entries),
+            "result": tier(result_hits, result_misses, entries["result"]),
+            "lineage": tier(lineage_hits, lineage_misses, entries["lineage"]),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """The full ``/v1/stats`` document (JSON-safe, nested)."""
+        with self._state:
+            generation = self._generation
+            pending = self._pending
+            inflight = len(self._inflight)
+        snapshot = self.metrics.snapshot()
+        return {
+            "generation": generation,
+            "workers": len(self.sessions),
+            "max_queue": self.max_queue,
+            "queue_depth": pending,
+            "in_flight": inflight,
+            "throughput": {
+                "qps": snapshot["qps"],
+                "lifetime_qps": snapshot["lifetime_qps"],
+                "requests_total": snapshot["requests_total"],
+                "answers_total": snapshot["answers_total"],
+            },
+            "latency_ms": snapshot["latency"],
+            "admission": {
+                "queue_depth": pending,
+                "max_queue": self.max_queue,
+                "rejected_total": snapshot["rejected_total"],
+                "coalesced_total": snapshot["coalesced_total"],
+            },
+            "errors": {
+                "total": snapshot["errors_total"],
+                "responses_by_status": snapshot["responses_by_status"],
+            },
+            "cache": self.cache_stats(),
+            "uptime_s": snapshot["uptime_s"],
+        }
+
+    def metrics_text(self) -> str:
+        """The metrics as Prometheus-style exposition text."""
+        stats = self.stats()
+        lines = [
+            "# HELP repro_requests_total Queries served since process start.",
+            "# TYPE repro_requests_total counter",
+            f"repro_requests_total {stats['throughput']['requests_total']}",
+            "# HELP repro_rejected_total Requests refused by admission control.",
+            "# TYPE repro_rejected_total counter",
+            f"repro_rejected_total {stats['admission']['rejected_total']}",
+            "# HELP repro_coalesced_total Requests coalesced onto an in-flight twin.",
+            "# TYPE repro_coalesced_total counter",
+            f"repro_coalesced_total {stats['admission']['coalesced_total']}",
+            "# HELP repro_errors_total Requests that raised instead of answering.",
+            "# TYPE repro_errors_total counter",
+            f"repro_errors_total {stats['errors']['total']}",
+            "# HELP repro_qps Requests per second over the trailing window.",
+            "# TYPE repro_qps gauge",
+            f"repro_qps {stats['throughput']['qps']:.6f}",
+            "# HELP repro_queue_depth Requests queued or running right now.",
+            "# TYPE repro_queue_depth gauge",
+            f"repro_queue_depth {stats['queue_depth']}",
+            "# HELP repro_generation Invalidation epoch (bumped by /v1/extend).",
+            "# TYPE repro_generation gauge",
+            f"repro_generation {stats['generation']}",
+            "# HELP repro_request_latency_ms Request latency quantiles.",
+            "# TYPE repro_request_latency_ms summary",
+        ]
+        latency = stats["latency_ms"]
+        for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms")):
+            lines.append(
+                f'repro_request_latency_ms{{quantile="{quantile}"}} {latency[key]:.6f}'
+            )
+        lines += [
+            "# HELP repro_cache_hits_total Cache hits by tier.",
+            "# TYPE repro_cache_hits_total counter",
+        ]
+        for tier in CACHE_TIERS:
+            lines.append(f'repro_cache_hits_total{{tier="{tier}"}} {stats["cache"][tier]["hits"]}')
+        lines += [
+            "# HELP repro_cache_misses_total Cache misses by tier.",
+            "# TYPE repro_cache_misses_total counter",
+        ]
+        for tier in CACHE_TIERS:
+            lines.append(
+                f'repro_cache_misses_total{{tier="{tier}"}} {stats["cache"][tier]["misses"]}'
+            )
+        lines += [
+            "# HELP repro_responses_total HTTP responses by status code.",
+            "# TYPE repro_responses_total counter",
+        ]
+        for status, count in sorted(stats["errors"]["responses_by_status"].items()):
+            lines.append(f'repro_responses_total{{status="{status}"}} {count}')
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dispatcher({len(self.sessions)} workers, max_queue={self.max_queue}, "
+            f"generation={self.generation})"
+        )

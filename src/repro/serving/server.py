@@ -1,0 +1,358 @@
+"""A stdlib-only JSON-over-HTTP front end for a compiled probabilistic DB.
+
+:class:`ProbServer` wraps a :class:`~repro.serving.dispatch.Dispatcher`
+(admission control, session affinity, coalescing, metrics) in a
+``ThreadingHTTPServer`` and speaks a small JSON protocol:
+
+========================  =====================================================
+``POST /v1/query``        ``{"query": "...", "method": "mvindex"}`` →
+                          ``{"generation": g, "result": <QueryResult JSON>}``
+``POST /v1/query_batch``  ``{"queries": [...], "method": ..., "workers": n}`` →
+                          ``{"generation": g, "results": [...]}``
+``POST /v1/extend``       extension spec (see below) →
+                          ``{"added_components": k, "generation": g}``
+``GET /v1/stats``         the dispatcher's full statistics document
+``GET /healthz``          liveness: ``{"status": "ok", "generation": g, ...}``
+``GET /metrics``          Prometheus-style exposition text
+========================  =====================================================
+
+Errors are structured: every non-2xx response carries
+``{"error": {"type": ..., "message": ..., "status": ...}}``, where ``type``
+is the snake-case name of the library exception (``parse_error``,
+``inference_error``, ...).  User mistakes map to **400**, a full admission
+queue to **429** (with a ``Retry-After`` header), unknown paths to **404**,
+wrong verbs to **405**, and library bugs to **500**.
+
+``POST /v1/extend`` is serialized through the dispatcher's single-writer
+lock while reads keep flowing; how the request body becomes an
+:class:`~repro.core.mvdb.MVDB` is pluggable via the server's ``extender``
+callable (the CLI installs one that rebuilds the synthetic DBLP workload
+from ``{"groups": ..., "seed": ..., "views": [...]}``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.core.engine import MVQueryEngine
+from repro.core.mvdb import MVDB
+from repro.errors import AdmissionError, ReproError, ServingError, wire_name
+from repro.serving.dispatch import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_WORKERS,
+    Dispatcher,
+)
+
+#: Largest request body accepted, in bytes (a query batch, comfortably).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Largest number of queries accepted in one ``/v1/query_batch`` call.
+MAX_BATCH_SIZE = 1024
+
+
+class _BadRequest(ServingError):
+    """A malformed request body (not valid JSON / wrong shape)."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning :class:`ProbServer`."""
+
+    protocol_version = "HTTP/1.1"
+    # Without TCP_NODELAY, the response body sits in Nagle's buffer waiting
+    # for the client's delayed ACK of the header segment — a ~40ms floor on
+    # every request (StreamRequestHandler applies this in setup()).
+    disable_nagle_algorithm = True
+    server: "_HttpServer"
+
+    # ----------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.prob_server.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, status: int, document: dict[str, Any], headers: dict[str, str] | None = None
+    ) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.prob_server.dispatcher.metrics.observe_response(status)
+
+    def _send_error_json(
+        self, status: int, error_type: str, message: str, headers: dict[str, str] | None = None
+    ) -> None:
+        self._send_json(
+            status,
+            {"error": {"type": error_type, "message": message, "status": status}},
+            headers=headers,
+        )
+
+    def _read_raw_body(self) -> bytes:
+        """Read (and thereby drain) the request body.
+
+        Called for every POST before routing: on HTTP/1.1 keep-alive
+        connections an unread body would otherwise be parsed as the next
+        request line, desyncing the connection after any error response
+        that short-circuits before reading it (404/405/501/400).
+        """
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise _BadRequest("a JSON body with a Content-Length header is required")
+        try:
+            size = int(length)
+        except ValueError:
+            raise _BadRequest(f"invalid Content-Length {length!r}") from None
+        if size < 0 or size > MAX_BODY_BYTES:
+            raise _BadRequest(f"request body of {size} bytes exceeds {MAX_BODY_BYTES}")
+        return self.rfile.read(size)
+
+    def _read_body(self) -> dict[str, Any]:
+        try:
+            document = json.loads(self._raw_body)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(document, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return document
+
+    # ------------------------------------------------------------------ routes
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/healthz":
+                self._handle_healthz()
+            elif self.path == "/v1/stats":
+                self._handle_stats()
+            elif self.path == "/metrics":
+                self._handle_metrics()
+            elif self.path in ("/v1/query", "/v1/query_batch", "/v1/extend"):
+                self._send_error_json(405, "method_not_allowed", f"POST required for {self.path}")
+            else:
+                self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
+        except Exception as exc:  # pragma: no cover - defensive
+            self._internal_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            try:
+                self._raw_body = self._read_raw_body()
+            except _BadRequest as exc:
+                # Without a believable Content-Length the connection cannot
+                # be resynced — answer and drop it.
+                self.close_connection = True
+                self._send_error_json(400, "bad_request", str(exc))
+                return
+            if self.path == "/v1/query":
+                self._handle_query()
+            elif self.path == "/v1/query_batch":
+                self._handle_query_batch()
+            elif self.path == "/v1/extend":
+                self._handle_extend()
+            elif self.path in ("/healthz", "/v1/stats", "/metrics"):
+                self._send_error_json(405, "method_not_allowed", f"GET required for {self.path}")
+            else:
+                self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
+        except _BadRequest as exc:
+            self._send_error_json(400, "bad_request", str(exc))
+        except AdmissionError as exc:
+            self._send_error_json(
+                429,
+                "admission_error",
+                str(exc),
+                headers={"Retry-After": str(int(exc.retry_after))},
+            )
+        except ReproError as exc:
+            # Library-detected user mistakes: unparsable queries, unknown
+            # methods, rejected extensions, ... — the caller's to fix.
+            self._send_error_json(400, wire_name(type(exc)), str(exc))
+        except Exception as exc:
+            self._internal_error(exc)
+
+    def _internal_error(self, exc: BaseException) -> None:
+        self.server.prob_server.dispatcher.metrics.observe_error()
+        try:
+            self._send_error_json(500, "internal_error", f"{type(exc).__name__}: {exc}")
+        except Exception:  # pragma: no cover - client went away mid-reply
+            pass
+
+    # ---------------------------------------------------------------- handlers
+    def _handle_healthz(self) -> None:
+        # Liveness probes poll this; keep it cheap (no metrics snapshot,
+        # which sorts the latency reservoir).
+        prob_server = self.server.prob_server
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "generation": prob_server.dispatcher.generation,
+                "uptime_s": prob_server.dispatcher.metrics.uptime_s(),
+                "workers": len(prob_server.dispatcher.sessions),
+            },
+        )
+
+    def _handle_stats(self) -> None:
+        self._send_json(200, self.server.prob_server.dispatcher.stats())
+
+    def _handle_metrics(self) -> None:
+        body = self.server.prob_server.dispatcher.metrics_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.prob_server.dispatcher.metrics.observe_response(200)
+
+    def _handle_query(self) -> None:
+        document = self._read_body()
+        query = document.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise _BadRequest("'query' must be a non-empty datalog string")
+        method = document.get("method", "mvindex")
+        if not isinstance(method, str):
+            raise _BadRequest("'method' must be a string")
+        result, generation = self.server.prob_server.dispatcher.execute(query, method=method)
+        self._send_json(200, {"generation": generation, "result": result.to_json()})
+
+    def _handle_query_batch(self) -> None:
+        document = self._read_body()
+        queries = document.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise _BadRequest("'queries' must be a non-empty list of datalog strings")
+        if len(queries) > MAX_BATCH_SIZE:
+            raise _BadRequest(f"batch of {len(queries)} exceeds {MAX_BATCH_SIZE} queries")
+        if not all(isinstance(query, str) and query.strip() for query in queries):
+            raise _BadRequest("every entry of 'queries' must be a non-empty datalog string")
+        method = document.get("method", "mvindex")
+        if not isinstance(method, str):
+            raise _BadRequest("'method' must be a string")
+        workers = document.get("workers")
+        if workers is not None and not isinstance(workers, int):
+            raise _BadRequest("'workers' must be an integer when given")
+        results, generation = self.server.prob_server.dispatcher.execute_batch(
+            queries, method=method, workers=workers
+        )
+        self._send_json(
+            200,
+            {"generation": generation, "results": [result.to_json() for result in results]},
+        )
+
+    def _handle_extend(self) -> None:
+        prob_server = self.server.prob_server
+        if prob_server.extender is None:
+            self._send_error_json(
+                501, "unsupported", "this server was started without an extender"
+            )
+            return
+        document = self._read_body()
+        mvdb = prob_server.extender(document)
+        added, generation = prob_server.dispatcher.extend(mvdb)
+        self._send_json(200, {"added_components": len(added), "generation": generation})
+
+
+class _HttpServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning :class:`ProbServer`."""
+
+    daemon_threads = True
+    prob_server: "ProbServer"
+
+
+class ProbServer:
+    """The over-the-wire serving process: one engine behind HTTP.
+
+    Parameters
+    ----------
+    engine:
+        The compiled engine to serve (typically ``repro.open(artifact).engine``).
+    host / port:
+        Bind address; ``port=0`` picks a free ephemeral port (see :attr:`url`).
+    workers / max_queue / cache_size:
+        Forwarded to the :class:`~repro.serving.dispatch.Dispatcher`.
+    extender:
+        Optional callable mapping a ``/v1/extend`` JSON body to an
+        :class:`~repro.core.mvdb.MVDB`; without it the endpoint answers 501.
+    verbose:
+        Log one line per request to stderr (off by default).
+    """
+
+    def __init__(
+        self,
+        engine: MVQueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = DEFAULT_WORKERS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        cache_size: int | None = None,
+        extender: Callable[[dict[str, Any]], MVDB] | None = None,
+        verbose: bool = False,
+    ) -> None:
+        dispatcher_kwargs: dict[str, Any] = {"workers": workers, "max_queue": max_queue}
+        if cache_size is not None:
+            dispatcher_kwargs["cache_size"] = cache_size
+        self.dispatcher = Dispatcher(engine, **dispatcher_kwargs)
+        self.extender = extender
+        self.verbose = verbose
+        self._http = _HttpServer((host, port), _Handler)
+        self._http.prob_server = self
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (with the actually-bound port)."""
+        return f"http://{self.host}:{self.port}"
+
+    # --------------------------------------------------------------- lifecycle
+    def start(self) -> "ProbServer":
+        """Serve on a background thread; returns ``self`` for chaining."""
+        if self._thread is not None:
+            raise ServingError("server is already running")
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (blocking)."""
+        self._serving = True
+        try:
+            self._http.serve_forever()
+        finally:
+            self._serving = False
+
+    def stop(self) -> None:
+        """Shut the HTTP loop and the dispatch workers down (idempotent).
+
+        Safe to call on a server that was never started:
+        ``BaseServer.shutdown`` blocks forever unless ``serve_forever`` is
+        running, so it is only invoked while the serve loop is live.
+        """
+        if self._serving:
+            self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.dispatcher.close()
+
+    def __enter__(self) -> "ProbServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProbServer({self.url}, {self.dispatcher!r})"

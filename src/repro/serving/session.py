@@ -167,6 +167,12 @@ class QuerySession:
         self._results = _LruCache(cache_size, self.statistics)
         self._lineages = _LruCache(cache_size, self.statistics)
         self._warmed = False
+        #: Monotonic invalidation epoch.  Bumped by :meth:`invalidate`; every
+        #: cache write is guarded by it, so a computation that started before
+        #: an engine mutation can never re-pollute the fresh caches with a
+        #: probability from the old view set.  Served to clients (e.g. the
+        #: HTTP dispatcher) so layered caches can share the invalidation path.
+        self.generation = 0
 
     # ----------------------------------------------------------------- warmup
     def warm(self) -> None:
@@ -200,6 +206,7 @@ class QuerySession:
         self.engine.validate_query(ucq)
         key = canonical_key(ucq)
         with self._lock:
+            generation = self.generation
             cached = self._results.get((key, resolved.name))
             if cached is not None:
                 self.statistics.result_hits += 1
@@ -209,7 +216,8 @@ class QuerySession:
         self.warm()
         computed = self._typed_probabilities(lineages, resolved)
         with self._lock:
-            self._results.put((key, resolved.name), computed)
+            if self.generation == generation:
+                self._results.put((key, resolved.name), computed)
         return self._typed_result(computed, resolved, cached_hit=False, start=start)
 
     def query(
@@ -275,6 +283,7 @@ class QuerySession:
         # batches may duplicate some work; both compute identical values.
         self.warm()
         with self._lock:
+            generation = self.generation
             self.statistics.batches += 1
             # Answers are accumulated locally so the batch stays correct even
             # when it holds more distinct queries than the LRU caches do.
@@ -310,8 +319,9 @@ class QuerySession:
                 self.statistics.lineage_misses += len(missing_lineages)
                 self.statistics.relational_passes += 1
                 self.statistics.evaluated_disjuncts += distinct
-                for key, lineages in fresh.items():
-                    self._lineages.put(key, lineages)
+                if self.generation == generation:
+                    for key, lineages in fresh.items():
+                        self._lineages.put(key, lineages)
         items = [(key, lineage_map[key]) for key in pending]
 
         def timed(lineages: dict[tuple[Any, ...], DNF]) -> tuple[_Computed, float]:
@@ -326,7 +336,8 @@ class QuerySession:
             computed_all = [timed(lineages) for __, lineages in items]
         with self._lock:
             for (key, __), (computed, seconds) in zip(items, computed_all):
-                self._results.put((key, resolved_method.name), computed)
+                if self.generation == generation:
+                    self._results.put((key, resolved_method.name), computed)
                 resolved[key] = (computed, False, seconds)
         return [
             self._typed_result(
@@ -358,6 +369,7 @@ class QuerySession:
         relational evaluation itself runs unlocked.
         """
         with self._lock:
+            generation = self.generation
             cached = self._lineages.get(key)
             if cached is not None:
                 self.statistics.lineage_hits += 1
@@ -367,7 +379,8 @@ class QuerySession:
             self.statistics.lineage_misses += 1
             self.statistics.relational_passes += 1
             self.statistics.evaluated_disjuncts += distinct
-            self._lineages.put(key, fresh[key])
+            if self.generation == generation:
+                self._lineages.put(key, fresh[key])
         return fresh[key]
 
     def _evaluate_shared(
@@ -456,6 +469,7 @@ class QuerySession:
         start = time.perf_counter()
         resolved = self.engine.resolve_method(method)
         with self._lock:
+            generation = self.generation
             cached = self._results.get((prepared.key, resolved.name))
             if cached is not None:
                 self.statistics.result_hits += 1
@@ -464,18 +478,24 @@ class QuerySession:
         self.warm()
         computed = self._typed_probabilities(prepared.lineages, resolved)
         with self._lock:
-            self._results.put((prepared.key, resolved.name), computed)
+            if self.generation == generation:
+                self._results.put((prepared.key, resolved.name), computed)
         return self._typed_result(computed, resolved, cached_hit=False, start=start)
 
     # ----------------------------------------------------------- invalidation
     def invalidate(self) -> None:
         """Drop every cached result and lineage (and the warm flag).
 
-        Called by :meth:`repro.ProbDB.extend` after the underlying engine
-        mutates — cached probabilities computed against the old view set
-        would otherwise be served for the extended database.
+        Called by :meth:`repro.ProbDB.extend` (and by the HTTP dispatcher's
+        ``/v1/extend`` path) after the underlying engine mutates — cached
+        probabilities computed against the old view set would otherwise be
+        served for the extended database.  Bumps :attr:`generation`, so a
+        concurrent computation that started before the mutation refuses to
+        write its (stale) result back into the fresh caches: this is the one
+        invalidation path shared by every caching tier above the engine.
         """
         with self._lock:
+            self.generation += 1
             self._results = _LruCache(self._results.capacity, self.statistics)
             self._lineages = _LruCache(self._lineages.capacity, self.statistics)
             self._warmed = False
@@ -487,6 +507,7 @@ class QuerySession:
             info = {
                 "result_entries": len(self._results),
                 "lineage_entries": len(self._lineages),
+                "generation": self.generation,
             }
             info.update(self.statistics.as_dict())
             return info

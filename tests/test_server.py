@@ -1,0 +1,707 @@
+"""End-to-end tests of the HTTP serving tier, over a real socket.
+
+Covers the issue's serving contract: transport parity (the HTTP answers
+must be byte-identical to the in-process facade's), the batch endpoint,
+admission control (429 + Retry-After under a flooded queue), the health /
+stats / metrics schemas, extend-while-serving consistency (the shared
+generation-counter invalidation path), and structured 400s for malformed
+requests.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.dblp.config import DblpConfig
+from repro.dblp.workload import build_mvdb
+from repro.errors import AdmissionError, InferenceError, ParseError, ServingError
+from repro.query.parser import parse_query, to_datalog
+from repro.results import QueryResult
+from repro.serving.dispatch import Dispatcher
+from repro.serving.loadgen import WorkloadMix, fetch_stats, run_closed
+from repro.serving.server import ProbServer
+from repro.serving.session import QuerySession
+
+GROUPS = 4
+SEED = 0
+
+QUERIES = [
+    "Q(aid) :- Student(aid, year), Advisor(aid, aid1), Author(aid1, n1), "
+    "n1 like '%Advisor 0%'",
+    "Q(aid1) :- Student(aid, year), Advisor(aid, aid1), Author(aid, n), "
+    "n like '%Student 1-0%'",
+    "Q(inst) :- Affiliation(aid, inst), Author(aid, n), n like '%Advisor 1%'",
+    # A union (two rules, same head) and a Boolean query.
+    "Q(aid) :- Student(aid, year), Advisor(aid, a), Author(a, n), n like '%Advisor 0%' ; "
+    "Q(aid) :- Student(aid, year), Advisor(aid, a), Author(a, n), n like '%Advisor 2%'",
+    "Q :- Student(aid, year), Advisor(aid, aid1)",
+]
+
+
+def _dblp_extender(spec):
+    views = tuple(spec.get("views", ["V1", "V2", "V3"]))
+    return build_mvdb(
+        DblpConfig(group_count=spec.get("groups", GROUPS), seed=spec.get("seed", SEED)),
+        include_views=views,
+    ).mvdb
+
+
+@pytest.fixture(scope="module")
+def db():
+    workload = build_mvdb(DblpConfig(group_count=GROUPS, seed=SEED))
+    return repro.connect(workload.mvdb)
+
+
+@pytest.fixture(scope="module")
+def server(db):
+    server = ProbServer(
+        db.engine, port=0, workers=2, max_queue=32, extender=_dblp_extender
+    ).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def remote(server):
+    return repro.connect_remote(server.url)
+
+
+def _answers_json(result: QueryResult) -> str:
+    return json.dumps(result.to_json()["answers"], sort_keys=True)
+
+
+def _raw_request(server, method, path, body=None, headers=None):
+    """A raw HTTP exchange, for status/header/protocol assertions."""
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        payload = response.read()
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        connection.close()
+
+
+class TestTransportParity:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_single_query_byte_identical(self, db, remote, query):
+        assert _answers_json(remote.query(query)) == _answers_json(db.query(query))
+
+    def test_result_metadata_survives_the_wire(self, db, remote):
+        result = remote.query(QUERIES[0])
+        assert result.method == "mvindex"
+        assert result.exact is True
+        assert all(answer.lineage_size > 0 for answer in result)
+
+    def test_parsed_queries_travel_via_to_datalog(self, db, remote):
+        ucq = parse_query(QUERIES[3])
+        assert parse_query(to_datalog(ucq)).disjuncts == ucq.disjuncts
+        assert _answers_json(remote.query(ucq)) == _answers_json(db.query(ucq))
+
+    def test_methods_parity(self, db, remote):
+        for method in ("shannon", "obdd"):
+            assert _answers_json(remote.query(QUERIES[0], method=method)) == _answers_json(
+                db.query(QUERIES[0], method=method)
+            )
+
+    def test_batch_matches_in_process_and_order(self, db, remote):
+        local = db.query_batch(QUERIES)
+        wire = remote.query_batch(QUERIES)
+        assert [_answers_json(r) for r in wire] == [_answers_json(r) for r in local]
+
+    def test_batch_workers_parameter(self, db, remote):
+        wire = remote.query_batch(QUERIES[:3], workers=2)
+        local = db.query_batch(QUERIES[:3])
+        assert [_answers_json(r) for r in wire] == [_answers_json(r) for r in local]
+
+    def test_boolean_probability(self, db, remote):
+        assert remote.boolean_probability(QUERIES[4]) == db.boolean_probability(QUERIES[4])
+        with pytest.raises(InferenceError):
+            remote.boolean_probability(QUERIES[0])
+
+
+class TestProtocolSchemas:
+    def test_healthz_schema(self, remote):
+        health = remote.healthz()
+        assert health["status"] == "ok"
+        assert isinstance(health["generation"], int)
+        assert health["uptime_s"] > 0
+        assert health["workers"] == 2
+
+    def test_stats_schema(self, remote):
+        remote.query(QUERIES[0])
+        stats = remote.stats()
+        assert {
+            "generation",
+            "workers",
+            "max_queue",
+            "queue_depth",
+            "in_flight",
+            "throughput",
+            "latency_ms",
+            "admission",
+            "errors",
+            "cache",
+            "uptime_s",
+        } <= set(stats)
+        assert stats["throughput"]["requests_total"] >= 1
+        assert {"p50_ms", "p95_ms", "p99_ms", "count"} <= set(stats["latency_ms"])
+        for tier in ("string", "result", "lineage"):
+            assert {"hits", "misses", "hit_ratio", "entries"} <= set(stats["cache"][tier])
+
+    def test_metrics_exposition(self, remote):
+        text = remote.metrics_text()
+        for name in (
+            "repro_requests_total",
+            "repro_rejected_total",
+            "repro_qps",
+            "repro_queue_depth",
+            "repro_generation",
+            'repro_request_latency_ms{quantile="0.95"}',
+            'repro_cache_hits_total{tier="string"}',
+        ):
+            assert name in text
+
+    def test_string_tier_serves_exact_repeats(self, server, remote):
+        query = QUERIES[1]
+        remote.query(query)
+        before = server.dispatcher.cache_stats()["string"]["hits"]
+        repeat = remote.query(query)
+        assert repeat.cached is True
+        assert server.dispatcher.cache_stats()["string"]["hits"] == before + 1
+
+    def test_responses_carry_generation(self, server):
+        status, __, payload = _raw_request(
+            server,
+            "POST",
+            "/v1/query",
+            body=json.dumps({"query": QUERIES[0]}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 200
+        document = json.loads(payload)
+        assert document["generation"] == server.dispatcher.generation
+        assert "result" in document
+
+
+class TestProtocolErrors:
+    def test_unknown_path_is_404(self, server):
+        status, __, payload = _raw_request(server, "GET", "/nope")
+        assert status == 404
+        assert json.loads(payload)["error"]["type"] == "not_found"
+
+    def test_wrong_verb_is_405(self, server):
+        for method, path in (("GET", "/v1/query"), ("POST", "/healthz")):
+            status, __, payload = _raw_request(server, method, path)
+            assert status == 405
+            assert json.loads(payload)["error"]["type"] == "method_not_allowed"
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "this is not json",
+            json.dumps([1, 2, 3]),
+            json.dumps({}),
+            json.dumps({"query": 7}),
+            json.dumps({"query": "   "}),
+            json.dumps({"query": QUERIES[0], "method": 5}),
+        ],
+    )
+    def test_malformed_query_requests_are_structured_400s(self, server, body):
+        status, __, payload = _raw_request(
+            server, "POST", "/v1/query", body=body, headers={"Content-Type": "application/json"}
+        )
+        assert status == 400
+        error = json.loads(payload)["error"]
+        assert error["type"] == "bad_request"
+        assert error["status"] == 400
+        assert error["message"]
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            json.dumps({"queries": []}),
+            json.dumps({"queries": "Q :- R(x)"}),
+            json.dumps({"queries": [QUERIES[0], 9]}),
+            json.dumps({"queries": [QUERIES[0]], "workers": "four"}),
+        ],
+    )
+    def test_malformed_batch_requests_are_structured_400s(self, server, body):
+        status, __, payload = _raw_request(
+            server,
+            "POST",
+            "/v1/query_batch",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert json.loads(payload)["error"]["type"] == "bad_request"
+
+    def test_parse_errors_map_to_typed_400(self, server, remote):
+        status, __, payload = _raw_request(
+            server,
+            "POST",
+            "/v1/query",
+            body=json.dumps({"query": "Q(x) :- !!!"}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert json.loads(payload)["error"]["type"] == "parse_error"
+        with pytest.raises(ParseError):
+            remote.query("Q(x) :- !!!")
+
+    def test_unknown_method_maps_to_typed_400(self, remote):
+        with pytest.raises(InferenceError, match="unknown evaluation method"):
+            remote.query(QUERIES[0], method="divination")
+
+    def test_missing_body_is_400(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.putrequest("POST", "/v1/query")
+            connection.endheaders()
+            response = connection.getresponse()
+            payload = response.read()
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert json.loads(payload)["error"]["type"] == "bad_request"
+
+    def test_connect_remote_refuses_dead_server(self):
+        with pytest.raises(ServingError):
+            repro.connect_remote("http://127.0.0.1:1", timeout=2)
+
+    def test_error_paths_do_not_desync_keepalive_connections(self, db):
+        # Error responses that short-circuit before reading the body (501,
+        # 404, 405, oversized 400) must still leave the HTTP/1.1 connection
+        # usable: an undrained body would be parsed as the next request.
+        server = ProbServer(db.engine, port=0, workers=1).start()  # no extender -> 501
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            probes = [
+                ("/v1/extend", json.dumps({"views": ["V1"]}), 501),
+                ("/v1/unknown", json.dumps({"pad": "x" * 256}), 404),
+                ("/healthz", json.dumps({"pad": "y" * 64}), 405),
+            ]
+            for path, body, expected in probes:
+                connection.request(
+                    "POST", path, body=body, headers={"Content-Type": "application/json"}
+                )
+                response = connection.getresponse()
+                response.read()
+                assert response.status == expected
+                # The SAME connection must then serve a normal query.
+                connection.request(
+                    "POST",
+                    "/v1/query",
+                    body=json.dumps({"query": QUERIES[0]}),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                assert response.status == 200, payload
+                assert "result" in json.loads(payload)
+        finally:
+            connection.close()
+            server.stop()
+
+    def test_to_datalog_rejects_unserializable_constants(self):
+        from repro.query.atoms import Atom
+        from repro.query.cq import ConjunctiveQuery
+        from repro.query.terms import Constant
+
+        trailing = ConjunctiveQuery((), [Atom("R", [Constant("a\\")])])
+        with pytest.raises(ParseError, match="backslash"):
+            to_datalog(trailing)
+        both_quotes = ConjunctiveQuery((), [Atom("R", [Constant("a'\"b")])])
+        with pytest.raises(ParseError, match="quote"):
+            to_datalog(both_quotes)
+        # A mid-string backslash round-trips verbatim (no unescaping).
+        fine = ConjunctiveQuery((), [Atom("R", [Constant("a\\b")])])
+        rendered = to_datalog(fine)
+        assert parse_query(rendered).disjuncts[0].atoms == fine.atoms
+
+
+class TestAdmissionControl:
+    def test_zero_capacity_rejects_with_retry_after(self, db):
+        server = ProbServer(db.engine, port=0, workers=1, max_queue=0).start()
+        try:
+            status, headers, payload = _raw_request(
+                server,
+                "POST",
+                "/v1/query",
+                body=json.dumps({"query": QUERIES[0]}),
+                headers={"Content-Type": "application/json"},
+            )
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            error = json.loads(payload)["error"]
+            assert error["type"] == "admission_error"
+            remote = repro.connect_remote(server.url)
+            with pytest.raises(AdmissionError) as excinfo:
+                remote.query(QUERIES[0])
+            assert excinfo.value.retry_after >= 1
+        finally:
+            server.stop()
+
+    def test_flooded_queue_429s_without_5xx(self, db):
+        server = ProbServer(db.engine, port=0, workers=1, max_queue=2).start()
+        statuses: list[int] = []
+        lock = threading.Lock()
+        flood = 6
+
+        def one_request(index: int) -> None:
+            # Distinct queries so neither coalescing nor the string tier
+            # absorbs the flood before admission control sees it.
+            query = (
+                "Q(aid) :- Student(aid, year), Advisor(aid, aid1), Author(aid1, n1), "
+                f"n1 like '%Advisor {index}%'"
+            )
+            status, __, ___ = _raw_request(
+                server,
+                "POST",
+                "/v1/query",
+                body=json.dumps({"query": query}),
+                headers={"Content-Type": "application/json"},
+            )
+            with lock:
+                statuses.append(status)
+
+        try:
+            with server.dispatcher._rwlock.write_locked():
+                threads = [
+                    threading.Thread(target=one_request, args=(index,)) for index in range(flood)
+                ]
+                for thread in threads:
+                    thread.start()
+                deadline = time.monotonic() + 10
+                # Wait until the queue is saturated and the overflow rejected.
+                while time.monotonic() < deadline:
+                    if (
+                        server.dispatcher.queue_depth >= 2
+                        and server.dispatcher.metrics.rejected_total >= flood - 2
+                    ):
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("queue never saturated")
+            for thread in threads:
+                thread.join(timeout=30)
+            assert sorted(statuses).count(429) == flood - 2
+            assert sorted(statuses).count(200) == 2
+            stats = fetch_stats(server.url)
+            assert stats["admission"]["rejected_total"] == flood - 2
+            assert stats["errors"]["total"] == 0
+        finally:
+            server.stop()
+
+    def test_coalescing_shares_one_future(self, db):
+        dispatcher = Dispatcher(db.engine, workers=1, max_queue=8)
+        try:
+            query = QUERIES[2]
+            with dispatcher._rwlock.write_locked():
+                first = dispatcher.submit(query)
+                second = dispatcher.submit(query)
+                assert second is first
+                assert dispatcher.metrics.coalesced_total == 1
+            result, generation = first.result(timeout=30)
+            assert generation == 0
+            assert _answers_json(result) == _answers_json(db.query(query))
+        finally:
+            dispatcher.close()
+
+
+class TestExtendWhileServing:
+    def test_extend_is_consistent_and_bumps_generation(self):
+        workload = build_mvdb(DblpConfig(group_count=3, seed=SEED), include_views=("V1", "V2"))
+        db = repro.connect(workload.mvdb)
+        server = ProbServer(
+            db.engine, port=0, workers=2, max_queue=64, extender=_dblp_extender
+        ).start()
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            connection = None
+            from repro.serving.loadgen import _Connection
+
+            connection = _Connection(server.url, timeout=30)
+            try:
+                while not stop.is_set():
+                    status, __ = connection.post_query(QUERIES[0], "mvindex")
+                    if status not in (200, 429):
+                        failures.append(f"reader saw HTTP {status}")
+            finally:
+                connection.close()
+
+        readers = [threading.Thread(target=reader) for __ in range(3)]
+        try:
+            remote = repro.connect_remote(server.url)
+            generation_before = remote.healthz()["generation"]
+            # An affiliation query is the kind whose probabilities V3 changes
+            # (Student 0-0 has an affiliation at this scale).
+            affiliation = (
+                "Q(inst) :- Affiliation(aid, inst), Author(aid, n), n like '%Student 0-0%'"
+            )
+            before = remote.query(affiliation)
+            for thread in readers:
+                thread.start()
+            time.sleep(0.2)
+            added = remote.extend({"groups": 3, "seed": SEED, "views": ["V1", "V2", "V3"]})
+            time.sleep(0.2)
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+            assert not failures, failures
+            assert added >= 1
+            assert remote.healthz()["generation"] == generation_before + 1
+
+            # Post-extend probabilities must be byte-identical to an
+            # in-process ProbDB that performed the same extension — no cache
+            # tier may serve the old view set's values.  (A from-scratch
+            # build can differ in the last ulp: the incremental compile
+            # appends components, changing the product's association order.)
+            fresh = repro.connect(
+                build_mvdb(DblpConfig(group_count=3, seed=SEED), include_views=("V1", "V2")).mvdb
+            )
+            fresh.extend(build_mvdb(DblpConfig(group_count=3, seed=SEED)).mvdb)
+            after = remote.query(affiliation)
+            assert _answers_json(after) == _answers_json(fresh.query(affiliation))
+            assert _answers_json(after) != _answers_json(before)
+            assert _answers_json(remote.query(QUERIES[0])) == _answers_json(
+                fresh.query(QUERIES[0])
+            )
+
+            # The same extension again is a no-op but keeps invalidating.
+            assert remote.extend({"groups": 3, "seed": SEED, "views": ["V1", "V2", "V3"]}) == 0
+            assert remote.healthz()["generation"] == generation_before + 2
+        finally:
+            stop.set()
+            server.stop()
+
+    def test_stop_before_start_does_not_hang(self, db):
+        server = ProbServer(db.engine, port=0, workers=1)
+        server.stop()  # never started: must return, not block in shutdown()
+        server.stop()  # and stay idempotent
+
+    def test_extend_without_extender_is_501(self, db):
+        server = ProbServer(db.engine, port=0, workers=1).start()
+        try:
+            status, __, payload = _raw_request(
+                server,
+                "POST",
+                "/v1/extend",
+                body=json.dumps({"views": ["V1"]}),
+                headers={"Content-Type": "application/json"},
+            )
+            assert status == 501
+            assert json.loads(payload)["error"]["type"] == "unsupported"
+        finally:
+            server.stop()
+
+
+class TestSessionGenerationGuard:
+    """The satellite fix: one invalidation path, checked per request."""
+
+    def test_invalidate_bumps_generation(self, db):
+        session = QuerySession(db.engine)
+        generation = session.generation
+        session.invalidate()
+        assert session.generation == generation + 1
+        assert session.cache_info()["generation"] == generation + 1
+
+    def test_straggler_compute_cannot_repollute_caches(self, db, monkeypatch):
+        session = QuerySession(db.engine)
+        query = parse_query(QUERIES[0])
+        original = session._typed_probabilities
+
+        def racing(lineages, method):
+            computed = original(lineages, method)
+            # An extend() lands between this request's computation and its
+            # cache publication — exactly the stale-probability race.
+            session.invalidate()
+            return computed
+
+        monkeypatch.setattr(session, "_typed_probabilities", racing)
+        stale = session.execute(query)
+        monkeypatch.undo()
+        assert session.cache_info()["result_entries"] == 0
+        assert session.cache_info()["lineage_entries"] == 0
+        fresh = session.execute(query)
+        assert fresh.cached is False  # recomputed, not served stale
+        assert fresh.to_dict() == stale.to_dict()  # same engine -> same values
+
+    def test_straggler_batch_cannot_repollute_caches(self, db, monkeypatch):
+        session = QuerySession(db.engine)
+        queries = [parse_query(text) for text in QUERIES[:3]]
+        original = session._typed_probabilities
+
+        def racing(lineages, method):
+            computed = original(lineages, method)
+            session.invalidate()
+            return computed
+
+        monkeypatch.setattr(session, "_typed_probabilities", racing)
+        session.execute_batch(queries)
+        monkeypatch.undo()
+        assert session.cache_info()["result_entries"] == 0
+        assert session.cache_info()["lineage_entries"] == 0
+
+    def test_dispatcher_string_tier_shares_the_invalidation_path(self, db):
+        dispatcher = Dispatcher(db.engine, workers=1, max_queue=8)
+        try:
+            dispatcher.execute(QUERIES[0])
+            assert dispatcher.cache_stats()["string"]["entries"] == 1
+            workload = build_mvdb(DblpConfig(group_count=GROUPS, seed=SEED))
+            added, generation = dispatcher.extend(workload.mvdb)
+            assert added == []  # same views: nothing new to compile
+            assert generation == 1
+            assert dispatcher.cache_stats()["string"]["entries"] == 0
+            for session in dispatcher.sessions:
+                assert session.generation == 1
+        finally:
+            dispatcher.close()
+
+
+class TestLoadGenerator:
+    def test_workload_mix_population_and_skew(self):
+        mix = WorkloadMix(entities=4, zipf_exponent=1.0)
+        queries, weights = mix.population()
+        assert len(queries) == len(weights) == 4 * len(mix.mix)
+        # Within one template, popularity must decay with entity rank.
+        assert weights[0] > weights[1] > weights[2] > weights[3]
+        assert all("like" in query for query in queries)
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ServingError, match="unknown workload template"):
+            WorkloadMix(mix=(("nope", 1.0),)).population()
+
+    def test_closed_loop_round_trip(self, server):
+        report = run_closed(
+            server.url, duration_s=0.5, concurrency=2, mix=WorkloadMix(entities=2), seed=1
+        )
+        assert report.error_free
+        assert report.ok > 0
+        assert report.qps > 0
+        assert report.latency_ms["p95_ms"] >= report.latency_ms["p50_ms"]
+        parsed = json.loads(json.dumps(report.to_json()))
+        assert parsed["requests"] == report.requests
+
+    def test_transport_errors_are_counted_not_raised(self):
+        report = run_closed(
+            "http://127.0.0.1:1", duration_s=0.2, concurrency=1, mix=WorkloadMix(entities=1)
+        )
+        assert report.transport_errors == report.requests > 0
+        assert not report.error_free
+
+    def test_bad_urls_fail_fast_instead_of_hanging(self):
+        # https:// (or any non-http scheme) must raise in the caller's
+        # thread — in run_open a raising worker used to leak its semaphore
+        # slot and deadlock the arrival loop.
+        from repro.serving.loadgen import run_open
+
+        with pytest.raises(ServingError, match="http://"):
+            run_closed("https://example.com", duration_s=0.2, concurrency=1)
+        with pytest.raises(ServingError, match="http://"):
+            run_open("https://example.com", duration_s=0.2, rate=10)
+
+    def test_open_loop_counts_dead_server_as_transport_errors(self):
+        from repro.serving.loadgen import run_open
+
+        report = run_open(
+            "http://127.0.0.1:1",
+            duration_s=0.3,
+            rate=20,
+            mix=WorkloadMix(entities=1),
+            max_outstanding=4,
+        )
+        assert report.transport_errors == report.requests > 0
+
+
+class TestQueryResultJsonRoundTrip:
+    def test_from_json_inverts_to_json(self, db):
+        result = db.query(QUERIES[0])
+        rebuilt = QueryResult.from_json(json.loads(json.dumps(result.to_json())))
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.method == result.method
+        assert rebuilt.steps == result.steps
+        assert _answers_json(rebuilt) == _answers_json(result)
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(InferenceError, match="malformed QueryResult"):
+            QueryResult.from_json({"answers": [{"values": [1]}]})
+
+
+class TestServeCli:
+    def test_serve_and_loadtest_across_processes(self, tmp_path):
+        import os
+        import re
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.cli import main
+
+        repo_src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_src) + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--groups",
+                "3",
+                "--views",
+                "V1,V2",
+                "--port",
+                "0",
+                "--workers",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline() + process.stdout.readline()
+            match = re.search(r"listening on (http://[\d.]+:\d+)", banner)
+            assert match, f"no URL in serve output: {banner!r}"
+            url = match.group(1)
+            code = main(
+                [
+                    "loadtest",
+                    "--url",
+                    url,
+                    "--duration",
+                    "1",
+                    "--concurrency",
+                    "2",
+                    "--entities",
+                    "2",
+                    "--json",
+                ]
+            )
+            assert code == 0
+            remote = repro.connect_remote(url)
+            assert remote.healthz()["status"] == "ok"
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    def test_loadtest_against_dead_server_fails(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["loadtest", "--url", "http://127.0.0.1:1", "--duration", "0.2",
+             "--concurrency", "1"]
+        )
+        assert code == 1
+        assert "errors" in capsys.readouterr().err
