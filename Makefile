@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-gate bench-serving load-smoke coverage docs-check examples lint all
+.PHONY: test bench bench-gate bench-serving load-smoke scale-smoke coverage docs-check examples lint all
 
 ## Tier-1 test suite (fast; what CI gates on).
 test:
@@ -29,6 +29,13 @@ bench-serving:
 ## bound, or a non-monotonic /v1/stats counter (what the CI job runs).
 load-smoke:
 	$(PYTHON) scripts/load_smoke.py
+
+## Scale smoke: build a 10^5-tuple DBLP MVDB on the sqlite backend, compile
+## the MV-index, answer one fig-5 query end-to-end, and fail on a >2x
+## normalized wall-time regression against the committed baseline in
+## benchmarks/results/scale_smoke_baseline.json.
+scale-smoke:
+	$(PYTHON) scripts/scale_smoke.py
 
 ## Coverage gate (CI): needs pytest-cov; the fail-under floor lives in
 ## pyproject.toml [tool.coverage.report].

@@ -56,6 +56,7 @@ from repro.lineage.dnf import DNF  # noqa: E402
 from repro.mvindex.cc_intersect import cc_mv_intersect  # noqa: E402
 from repro.mvindex.index import MVIndex  # noqa: E402
 from repro.mvindex.intersect import mv_intersect  # noqa: E402
+from repro.numerics import GATE_PROBABILITY_ULPS, within_ulps  # noqa: E402
 from repro.obdd.construct import build_obdd  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "bench_gate_baseline.json"
@@ -71,8 +72,11 @@ REGRESSION_MARGIN = 0.25
 CONSTRUCTION_SPEEDUP = 2.0
 #: Sections carrying the construction-speedup budget.
 CONSTRUCTION_SECTIONS = ("fig8_concat", "index_build")
-#: Tolerance for probability drift (probabilities are deterministic).
-PROBABILITY_TOLERANCE = 1e-9
+#: Tolerance for probability drift (probabilities are deterministic).  The
+#: old absolute tolerance of 1e-9 was scale-blind: at the ~1e22 magnitude of
+#: the recorded weights one ulp is ~8e6, so the check silently demanded
+#: bit-identity.  The gate now compares in ulps (see repro.numerics).
+PROBABILITY_TOLERANCE_ULPS = GATE_PROBABILITY_ULPS
 #: Tolerance for apply-step (work-count) growth.
 STEP_TOLERANCE = 0.05
 #: Timed sections: best-of-N to suppress scheduler noise (the heavyweight
@@ -213,10 +217,10 @@ def compare(current: dict, baseline: dict, margin: float = REGRESSION_MARGIN) ->
 
     for name, expected in baseline["probabilities"].items():
         actual = current["probabilities"].get(name)
-        if actual is None or abs(actual - expected) > PROBABILITY_TOLERANCE:
+        if actual is None or not within_ulps(actual, expected, PROBABILITY_TOLERANCE_ULPS):
             failures.append(
                 f"probability drift in {name}: {actual!r} vs baseline {expected!r} "
-                f"(tolerance {PROBABILITY_TOLERANCE})"
+                f"(tolerance {PROBABILITY_TOLERANCE_ULPS} ulps)"
             )
 
     for name, expected in baseline["structure"].items():

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Scale smoke: build a 10^5-tuple DBLP MVDB on sqlite and gate wall time.
+
+The disk-backed storage layer exists so that the Sect. 5 experiments run at
+100x-1000x the seed's tuple counts.  This gate keeps that property from
+regressing: it streams a ~10^5-tuple synthetic DBLP instance straight into
+the sqlite backend, compiles the full MV-index, answers one fig-5 workload
+query ("find the advisor of student X") end-to-end, and compares against the
+committed baseline in ``benchmarks/results/scale_smoke_baseline.json``:
+
+* **wall time must not blow up**: each timed section (generate+ingest,
+  translate+lineage+index build, query) fails the gate when its *normalized*
+  time exceeds ``baseline * 2`` — the regression this catches is the storage
+  or join layer going accidentally quadratic, not scheduler noise;
+* **answers must not drift**: the query's probabilities must match the
+  baseline within the ulp tolerance of :mod:`repro.numerics` — scale must
+  never buy approximation.
+
+Wall-clock comparisons across machines are meaningless, so every run first
+times a fixed pure-Python calibration workload and divides the measured
+sections by it (the same scheme as ``scripts/bench_gate.py``).
+
+Usage::
+
+    python scripts/scale_smoke.py                 # compare against baseline
+    python scripts/scale_smoke.py --update        # re-record the baseline
+    python scripts/scale_smoke.py --json          # machine-readable report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402
+from repro.dblp.config import DblpConfig  # noqa: E402
+from repro.dblp.workload import advisor_of_student, build_mvdb  # noqa: E402
+from repro.numerics import GATE_PROBABILITY_ULPS, within_ulps  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "scale_smoke_baseline.json"
+
+#: ~10^5 tuples with the default DblpConfig (calibrated: ~210 rows/group).
+SMOKE_GROUPS = 495
+SMOKE_SEED = 0
+#: The fig-5 query answered end-to-end.
+SMOKE_STUDENT = "Student 0-0"
+#: A section fails when normalized time > baseline * RegressionFactor.
+REGRESSION_FACTOR = 2.0
+#: The build must actually reach smoke scale (guards the generator config).
+MIN_TUPLES = 100_000
+
+
+def _calibrate() -> float:
+    """Seconds for a fixed interpreter workload (dict/int heavy, like joins)."""
+
+    def workload() -> int:
+        table: dict[int, int] = {}
+        total = 0
+        for i in range(200_000):
+            key = (i * 2654435761) & 0xFFFFFF
+            hit = table.get(key)
+            if hit is None:
+                table[key] = i
+            else:
+                total += hit
+        return total
+
+    best = float("inf")
+    for __ in range(3):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> dict:
+    """One cold end-to-end run at smoke scale; returns raw metrics."""
+    calibration = _calibrate()
+
+    start = time.perf_counter()
+    workload = build_mvdb(
+        DblpConfig(group_count=SMOKE_GROUPS, seed=SMOKE_SEED), backend="sqlite"
+    )
+    ingest_s = time.perf_counter() - start
+    tuples = workload.mvdb.database.total_rows()
+
+    start = time.perf_counter()
+    db = repro.connect(workload.mvdb)
+    build_s = time.perf_counter() - start
+
+    query = advisor_of_student(SMOKE_STUDENT)
+    start = time.perf_counter()
+    result = db.query(str(query))
+    query_s = time.perf_counter() - start
+
+    probabilities = {
+        "|".join(map(str, row.values)): row.probability for row in result
+    }
+    return {
+        "description": (
+            "scale smoke: sqlite-backed DBLP build + MV-index + one fig-5 "
+            "query; sections are seconds / calibration (normalized)"
+        ),
+        "scale": {
+            "groups": SMOKE_GROUPS,
+            "seed": SMOKE_SEED,
+            "tuples": tuples,
+            "backend": workload.mvdb.database.backend.name,
+            "w_lineage_clauses": db.engine.w_lineage_size,
+        },
+        "calibration_s": calibration,
+        "sections": {
+            "ingest": ingest_s / calibration,
+            "engine_build": build_s / calibration,
+            "query": query_s / calibration,
+        },
+        "probabilities": probabilities,
+    }
+
+
+def compare(current: dict, baseline: dict, factor: float = REGRESSION_FACTOR) -> list[str]:
+    """All gate violations of ``current`` against ``baseline`` (empty = pass)."""
+    failures: list[str] = []
+
+    tuples = current["scale"]["tuples"]
+    if tuples < MIN_TUPLES:
+        failures.append(f"scale regression: built only {tuples} tuples (< {MIN_TUPLES})")
+    if current["scale"]["backend"] != "sqlite":
+        failures.append(f"wrong backend: {current['scale']['backend']!r} (expected sqlite)")
+
+    for name, budget in baseline["sections"].items():
+        actual = current["sections"].get(name)
+        if actual is None or actual > budget * factor:
+            failures.append(
+                f"wall-time regression in {name}: normalized {actual!r} vs "
+                f"baseline {budget!r} (allowed {factor}x)"
+            )
+
+    expected_probs = baseline["probabilities"]
+    actual_probs = current["probabilities"]
+    if set(expected_probs) != set(actual_probs):
+        failures.append(
+            f"answer drift: {sorted(actual_probs)} vs baseline {sorted(expected_probs)}"
+        )
+    else:
+        for answer, expected in expected_probs.items():
+            actual = actual_probs[answer]
+            if not within_ulps(actual, expected, GATE_PROBABILITY_ULPS):
+                failures.append(
+                    f"probability drift for {answer}: {actual!r} vs baseline "
+                    f"{expected!r} (tolerance {GATE_PROBABILITY_ULPS} ulps)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--update", action="store_true", help="re-record the baseline")
+    parser.add_argument("--json", action="store_true", help="machine-readable report")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=REGRESSION_FACTOR,
+        help="allowed wall-time multiple over the baseline (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline recorded: {args.baseline}")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = compare(current, baseline, factor=args.factor)
+
+    if args.json:
+        print(json.dumps({"current": current, "failures": failures}, indent=2))
+    else:
+        scale = current["scale"]
+        print(
+            f"scale smoke: {scale['tuples']} tuples on {scale['backend']} "
+            f"({scale['groups']} groups, {scale['w_lineage_clauses']} W clauses)"
+        )
+        for name, value in current["sections"].items():
+            budget = baseline["sections"].get(name)
+            print(f"  {name:14} normalized {value:8.3f}  (baseline {budget!r})")
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        print("scale smoke " + ("failed" if failures else "passed"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -109,7 +109,16 @@ def _sweep(args: argparse.Namespace) -> SweepSettings:
 
 
 def _full(args: argparse.Namespace) -> FullDatasetSettings:
-    return FullDatasetSettings(group_count=args.groups, seed=args.seed)
+    return FullDatasetSettings(
+        group_count=args.groups, seed=args.seed, backend=getattr(args, "backend", None)
+    )
+
+
+def _scale_targets(args: argparse.Namespace) -> "tuple[int, ...] | None":
+    raw = getattr(args, "scale_tuples", None)
+    if not raw:
+        return None
+    return tuple(int(float(part)) for part in raw.split(",") if part.strip())
 
 
 def _runners() -> dict[str, Callable[[argparse.Namespace], list]]:
@@ -123,7 +132,9 @@ def _runners() -> dict[str, Callable[[argparse.Namespace], list]]:
         "fig9": lambda args: [fig9_intersection(_sweep(args))],
         "fig10": lambda args: [fig10_students_of_advisor(_full(args))],
         "fig11": lambda args: [fig11_affiliation_of_author(_full(args))],
-        "scalability": lambda args: [scalability_index_build(_full(args))],
+        "scalability": lambda args: [
+            scalability_index_build(_full(args), tuple_targets=_scale_targets(args))
+        ],
         "serving": lambda args: [serving_cold_warm(_full(args))],
         "serving-http": lambda args: [serving_http_loopback(_full(args))],
     }
@@ -143,6 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--points", type=int, default=4, help="sweep points for fig4-fig9")
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
     parser.add_argument("--out", default=None, help="directory for CSV output (optional)")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="storage backend: memory (default), sqlite, or sqlite:<path>",
+    )
+    parser.add_argument(
+        "--scale-tuples",
+        default=None,
+        help="comma-separated tuple targets for the scalability sweep, e.g. 1e4,1e5,1e6",
+    )
     return parser
 
 
@@ -170,6 +191,11 @@ def build_serving_parser() -> argparse.ArgumentParser:
             type=int,
             default=None,
             help="process-pool size for the sharded MV-index build (default: serial)",
+        )
+        save.add_argument(
+            "--backend",
+            default=None,
+            help="storage backend for the build: memory (default), sqlite, or sqlite:<path>",
         )
         save.add_argument(
             "--out", required=True, help="artifact path (.json, or .json.gz for compression)"
@@ -285,8 +311,15 @@ def _cmd_save_index(args: argparse.Namespace) -> int:
 
     views = tuple(name.strip() for name in args.views.split(",") if name.strip())
     workers = getattr(args, "workers", None)
-    workload = build_mvdb(DblpConfig(group_count=args.groups, seed=args.seed), include_views=views)
-    build_seconds, db = time_call(lambda: repro.connect(workload.mvdb, workers=workers))
+    backend = getattr(args, "backend", None)
+    workload = build_mvdb(
+        DblpConfig(group_count=args.groups, seed=args.seed),
+        include_views=views,
+        backend=backend,
+    )
+    build_seconds, db = time_call(
+        lambda: repro.connect(workload.mvdb, workers=workers, backend=backend)
+    )
     path = db.save(args.out)
     index = db.engine.mv_index
     label = "offline build" if workers is None else f"offline build ({workers} workers)"

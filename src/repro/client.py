@@ -166,6 +166,7 @@ def connect(
     permutations: Mapping[str, Sequence[str]] | None = None,
     construction: str = "concat",
     workers: int | None = None,
+    backend: Any = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
 ) -> ProbDB:
     """Open a probabilistic database: the single entry point of the library.
@@ -177,18 +178,23 @@ def connect(
       compile across a process pool);
     * ``artifact`` — cold-start from a file written by :meth:`ProbDB.save`
       without recompiling anything (``build_index`` / ``permutations`` /
-      ``construction`` / ``workers`` do not apply and must be left default).
+      ``construction`` / ``workers`` / ``backend`` do not apply and must be
+      left default).
 
-    ``cache_size`` bounds each of the session's result/lineage LRU caches.
+    ``backend`` selects the storage backend of the translated INDB the
+    engine evaluates queries on: ``"memory"`` (default), ``"sqlite"`` (a
+    temporary disk file) or ``"sqlite:<path>"`` — see
+    :func:`repro.db.backend.resolve_backend`.  ``cache_size`` bounds each
+    of the session's result/lineage LRU caches.
     """
     if (mvdb is None) == (artifact is None):
         raise ClientError("connect() needs exactly one of: an MVDB, or artifact=<path>")
     if artifact is not None:
         if build_index is not True or permutations is not None or workers is not None \
-                or construction != "concat":
+                or construction != "concat" or backend is not None:
             raise ClientError(
-                "build_index/permutations/construction/workers only apply when "
-                "building from an MVDB; the artifact already fixes them"
+                "build_index/permutations/construction/workers/backend only apply "
+                "when building from an MVDB; the artifact already fixes them"
             )
         engine = load_engine(artifact)
     else:
@@ -198,6 +204,7 @@ def connect(
             permutations=permutations,
             construction=construction,
             workers=workers,
+            backend=backend,
         )
     return ProbDB(engine, cache_size=cache_size)
 

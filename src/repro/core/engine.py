@@ -56,9 +56,10 @@ class MVQueryEngine:
         permutations: Mapping[str, Sequence[str]] | None = None,
         construction: str = "concat",
         workers: int | None = None,
+        backend: Any = None,
     ) -> None:
         self.mvdb: MVDB | None = mvdb
-        self.translation: Translation | None = translate(mvdb)
+        self.translation: Translation | None = translate(mvdb, backend=backend)
         self.indb: TupleIndependentDatabase = self.translation.indb
         self.probabilities: dict[int, float] = self.indb.probabilities()
         self._nonstandard: bool | None = None

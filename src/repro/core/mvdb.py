@@ -31,8 +31,8 @@ from repro.query.ucq import UCQ, as_ucq
 class MVDB:
     """A MarkoView database: base probabilistic tables + MarkoViews."""
 
-    def __init__(self) -> None:
-        self.base = TupleIndependentDatabase()
+    def __init__(self, backend: Any = None) -> None:
+        self.base = TupleIndependentDatabase(backend=backend)
         self.views: list[MarkoView] = []
 
     # ------------------------------------------------------------- base data

@@ -75,9 +75,16 @@ def _w_disjuncts_for_view(view: MarkoView) -> list[ConjunctiveQuery]:
     return disjuncts
 
 
-def translate(mvdb: MVDB) -> Translation:
-    """Translate an MVDB into its associated tuple-independent database."""
-    indb = TupleIndependentDatabase()
+def translate(mvdb: MVDB, backend: Any = None) -> Translation:
+    """Translate an MVDB into its associated tuple-independent database.
+
+    ``backend`` selects the storage backend of the translated INDB; by
+    default a fresh sibling of the MVDB's own backend is used, so a
+    disk-backed MVDB translates into a disk-backed INDB.
+    """
+    if backend is None:
+        backend = mvdb.database.backend.spawn()
+    indb = TupleIndependentDatabase(backend=backend)
 
     # Base relations: identical possible tuples and weights.
     for table in mvdb.database:

@@ -1,18 +1,26 @@
-"""In-memory relational substrate (schemas, tables, databases, CSV I/O)."""
+"""Relational substrate (schemas, tables, databases, storage backends, CSV I/O)."""
 
+from repro.db.backend import BACKEND_NAMES, MemoryBackend, StorageBackend, resolve_backend
 from repro.db.database import Database
 from repro.db.schema import Attribute, RelationSchema
+from repro.db.sqlite_backend import SqliteBackend, SqliteTable
 from repro.db.table import Row, Table
 from repro.db.csvio import load_database, load_table, save_database, save_table
 
 __all__ = [
     "Attribute",
+    "BACKEND_NAMES",
     "Database",
+    "MemoryBackend",
     "RelationSchema",
     "Row",
+    "SqliteBackend",
+    "SqliteTable",
+    "StorageBackend",
     "Table",
     "load_database",
     "load_table",
+    "resolve_backend",
     "save_database",
     "save_table",
 ]

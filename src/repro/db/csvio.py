@@ -3,6 +3,13 @@
 The synthetic DBLP workload can be persisted to disk so that the benchmark
 harness does not have to regenerate data on every run, and so that users can
 inspect or substitute their own data (e.g. a real DBLP extract).
+
+Loading is backend-aware: pass ``backend="sqlite"`` (or any other spec from
+:mod:`repro.db.backend`) to ingest a CSV directory straight into a
+disk-backed database without materialising it in memory first.  Malformed
+input fails loudly — an arity mismatch raises
+:class:`~repro.errors.SchemaError` naming the file and line — while blank
+lines are skipped and duplicate rows collapse under set semantics.
 """
 
 from __future__ import annotations
@@ -11,9 +18,10 @@ import csv
 from pathlib import Path
 from typing import Any
 
+from repro.db.backend import resolve_backend
 from repro.db.database import Database
 from repro.db.schema import RelationSchema
-from repro.db.table import Table
+from repro.errors import SchemaError
 
 
 def _convert(value: str) -> Any:
@@ -26,7 +34,7 @@ def _convert(value: str) -> Any:
     return value
 
 
-def save_table(table: Table, path: str | Path) -> None:
+def save_table(table: Any, path: str | Path) -> None:
     """Write ``table`` to ``path`` as a CSV file with a header row."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -37,15 +45,35 @@ def save_table(table: Table, path: str | Path) -> None:
             writer.writerow(row)
 
 
-def load_table(name: str, path: str | Path) -> Table:
-    """Load a table called ``name`` from a CSV file written by :func:`save_table`."""
+def load_table(name: str, path: str | Path, backend: Any = None) -> Any:
+    """Load a table called ``name`` from a CSV file written by :func:`save_table`.
+
+    Blank lines are ignored and duplicate rows collapse (tables are sets).
+
+    Raises
+    ------
+    SchemaError
+        If the file has no header row, or a data row's field count does
+        not match the header arity (the message names file and line).
+    """
+    backend = resolve_backend(backend)
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty CSV file (missing header row)") from None
         schema = RelationSchema(name, header)
-        table = Table(schema)
-        for row in reader:
+        table = backend.create_table(schema)
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != schema.arity:
+                raise SchemaError(
+                    f"{path}:{lineno}: row has {len(row)} fields, expected "
+                    f"{schema.arity} for relation {name!r}"
+                )
             table.insert(tuple(_convert(cell) for cell in row))
     return table
 
@@ -58,10 +86,14 @@ def save_database(database: Database, directory: str | Path) -> None:
         save_table(table, directory / f"{table.name}.csv")
 
 
-def load_database(directory: str | Path) -> Database:
-    """Load every ``*.csv`` file in ``directory`` into a new database."""
+def load_database(directory: str | Path, backend: Any = None) -> Database:
+    """Load every ``*.csv`` file in ``directory`` into a new database.
+
+    ``backend`` selects the storage backend of the resulting database
+    (memory by default; ``"sqlite"``/``"sqlite:<path>"`` for disk).
+    """
     directory = Path(directory)
-    database = Database()
+    database = Database(backend=backend)
     for path in sorted(directory.glob("*.csv")):
-        database.add_table(load_table(path.stem, path))
+        database.add_table(load_table(path.stem, path, backend=database.backend))
     return database

@@ -1,29 +1,52 @@
-"""A database instance: a named collection of tables.
+"""A database instance: a named collection of tables over a storage backend.
 
 This is the deterministic substrate on which everything else is layered:
 MarkoView grounding, lineage extraction, the MVDB-to-INDB translation, and
 the synthetic DBLP workload all operate on a :class:`Database`.
+
+Tables live in a :class:`~repro.db.backend.StorageBackend` — the in-memory
+reference backend by default, or the disk-backed sqlite backend for
+instances too large for Python dicts (see :mod:`repro.db.backend` for the
+spec syntax accepted by ``backend=``).
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.db.backend import StorageBackend, resolve_backend
 from repro.db.schema import RelationSchema
 from repro.db.table import Row, Table
 from repro.errors import SchemaError, UnknownRelationError
 
 
 class Database:
-    """A mutable collection of :class:`~repro.db.table.Table` objects."""
+    """A mutable collection of relations stored in one backend.
 
-    def __init__(self, tables: Iterable[Table] = ()) -> None:
-        self._tables: dict[str, Table] = {}
+    Parameters
+    ----------
+    tables:
+        Optional pre-built table objects to register (they keep whatever
+        storage they already have; only tables made via
+        :meth:`create_table` land in this database's backend).
+    backend:
+        Storage backend spec — ``None``/``"memory"``, ``"sqlite"``,
+        ``"sqlite:<path>"`` or a backend instance.
+    """
+
+    def __init__(self, tables: Iterable[Any] = (), backend: Any = None) -> None:
+        self._backend = resolve_backend(backend)
+        self._tables: dict[str, Any] = {}
         for table in tables:
             self.add_table(table)
 
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend new tables are created in."""
+        return self._backend
+
     # ---------------------------------------------------------------- tables
-    def add_table(self, table: Table) -> Table:
+    def add_table(self, table: Any) -> Any:
         """Register an existing table; its name must be unused."""
         if table.name in self._tables:
             raise SchemaError(f"relation {table.name!r} already exists in the database")
@@ -36,10 +59,12 @@ class Database:
         attributes: Sequence[str],
         rows: Iterable[Sequence[Any]] = (),
         key: Sequence[str] | None = None,
-    ) -> Table:
-        """Create, register and return a new table."""
+    ) -> Any:
+        """Create, register and return a new table in this database's backend."""
         schema = RelationSchema(name, attributes, key=key)
-        return self.add_table(Table(schema, rows))
+        if name in self._tables:
+            raise SchemaError(f"relation {name!r} already exists in the database")
+        return self.add_table(self._backend.create_table(schema, rows))
 
     def drop_table(self, name: str) -> None:
         """Remove a table; raises if it does not exist."""
@@ -47,7 +72,7 @@ class Database:
             raise UnknownRelationError(f"cannot drop unknown relation {name!r}")
         del self._tables[name]
 
-    def table(self, name: str) -> Table:
+    def table(self, name: str) -> Any:
         """Return the table named ``name``."""
         try:
             return self._tables[name]
@@ -57,10 +82,10 @@ class Database:
     def __contains__(self, name: str) -> bool:
         return name in self._tables
 
-    def __getitem__(self, name: str) -> Table:
+    def __getitem__(self, name: str) -> Any:
         return self.table(name)
 
-    def __iter__(self) -> Iterator[Table]:
+    def __iter__(self) -> Iterator[Any]:
         return iter(self._tables.values())
 
     def relation_names(self) -> list[str]:
@@ -85,8 +110,23 @@ class Database:
         return {table.name: len(table) for table in self}
 
     def copy(self) -> "Database":
-        """A copy with independently mutable tables."""
-        return Database(table.copy() for table in self)
+        """A copy with independently mutable tables, on a sibling backend."""
+        return self.migrate(self._backend.spawn())
+
+    def migrate(self, backend: Any) -> "Database":
+        """Copy every table into a new database on ``backend``.
+
+        Row (insertion) order is preserved table by table, so variable
+        assignment downstream is unaffected by the move.
+        """
+        clone = Database(backend=backend)
+        for table in self:
+            clone.add_table(clone.backend.create_table(table.schema, table.rows()))
+        return clone
+
+    def close(self) -> None:
+        """Release backend resources (a no-op for the memory backend)."""
+        self._backend.close()
 
     def contains_row(self, relation: str, row: Sequence[Any]) -> bool:
         """True if ``row`` is present in ``relation``."""
@@ -103,3 +143,6 @@ class Database:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{t.name}:{len(t)}" for t in self)
         return f"Database({parts})"
+
+
+__all__ = ["Database", "Table"]

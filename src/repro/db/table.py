@@ -130,6 +130,20 @@ class Table:
         positional = {self.schema.position_of(name): value for name, value in bindings.items()}
         return self.lookup(positional)
 
+    def scan(self, bindings: dict[int, Any] | None = None) -> Iterator[Row]:
+        """Stream rows matching ``bindings`` (protocol twin of the sqlite scan)."""
+        if not bindings:
+            yield from self._rows
+        else:
+            yield from self.lookup(bindings)
+
+    def distinct_count(self, position: int) -> int:
+        """Number of distinct values in one column (join-order statistics)."""
+        index = self._indexes.get((position,))
+        if index is not None:
+            return len(index)
+        return len({row[position] for row in self._rows})
+
     def project(self, attributes: Sequence[str]) -> list[Row]:
         """Distinct projection onto the given attributes (preserving order)."""
         positions = [self.schema.position_of(a) for a in attributes]

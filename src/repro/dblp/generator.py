@@ -19,9 +19,32 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.db.database import Database
 from repro.dblp.config import DblpConfig
+
+#: Rows buffered per relation before a bulk insert into the backend.
+STREAM_BATCH = 8192
+
+
+class _Stream:
+    """Buffered writer into one backend table (one transaction per batch)."""
+
+    def __init__(self, table: Any, batch: int = STREAM_BATCH) -> None:
+        self.table = table
+        self.batch = batch
+        self._buffer: list[tuple[Any, ...]] = []
+
+    def add(self, row: tuple[Any, ...]) -> None:
+        self._buffer.append(row)
+        if len(self._buffer) >= self.batch:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self.table.insert_many(self._buffer)
+            self._buffer.clear()
 
 
 @dataclass
@@ -45,15 +68,28 @@ class DblpData:
         raise KeyError(aid)
 
 
-def generate_dblp(config: DblpConfig | None = None) -> DblpData:
-    """Generate the deterministic DBLP-style database described in Fig. 1."""
+def generate_dblp(config: DblpConfig | None = None, backend: Any = None) -> DblpData:
+    """Generate the deterministic DBLP-style database described in Fig. 1.
+
+    ``backend`` selects the storage backend of the generated database
+    (``"sqlite"`` streams rows straight to disk in batched transactions, so
+    million-tuple instances never materialise in Python memory).  Insertion
+    order is identical on every backend: ``Author``/``Pub``/``HomePage`` rows
+    stream out in generation order, ``Wrote`` is buffered and sorted —
+    exactly the order the in-memory generator has always produced, which
+    keeps downstream variable assignment reproducible.
+    """
     config = config or DblpConfig()
     rng = random.Random(config.seed)
 
-    authors: list[tuple[int, str]] = []
+    database = Database(backend=backend)
+    authors = _Stream(database.create_table("Author", ["aid", "name"]))
+    # Wrote is accumulated as a set: co-authorship generation produces
+    # duplicates, and the relation is sorted before loading (stable order).
     wrote: set[tuple[int, int]] = set()
-    pubs: list[tuple[int, str, int]] = []
-    homepages: list[tuple[int, str]] = []
+    wrote_table = database.create_table("Wrote", ["aid", "pid"])
+    pubs = _Stream(database.create_table("Pub", ["pid", "title", "year"]))
+    homepages = _Stream(database.create_table("HomePage", ["aid", "url"]))
     advisors: list[int] = []
     students: list[tuple[int, int]] = []
     institutions: list[str] = []
@@ -63,7 +99,7 @@ def generate_dblp(config: DblpConfig | None = None) -> DblpData:
 
     def new_paper(year: int, author_ids: list[int]) -> None:
         nonlocal next_pid
-        pubs.append((next_pid, f"Paper {next_pid}", year))
+        pubs.add((next_pid, f"Paper {next_pid}", year))
         for aid in author_ids:
             wrote.add((aid, next_pid))
         next_pid += 1
@@ -74,10 +110,10 @@ def generate_dblp(config: DblpConfig | None = None) -> DblpData:
 
         advisor_aid = next_aid
         next_aid += 1
-        authors.append((advisor_aid, f"Advisor {group}"))
+        authors.add((advisor_aid, f"Advisor {group}"))
         advisors.append(advisor_aid)
         if rng.random() < config.homepage_fraction:
-            homepages.append((advisor_aid, f"http://www.{institution}/~adv{group}"))
+            homepages.add((advisor_aid, f"http://www.{institution}/~adv{group}"))
 
         group_start = rng.randint(config.first_year, config.last_year - config.phd_years - 2)
         # The advisor publishes alone before the group exists, which pushes the
@@ -91,7 +127,7 @@ def generate_dblp(config: DblpConfig | None = None) -> DblpData:
         for index in range(student_count):
             student_aid = next_aid
             next_aid += 1
-            authors.append((student_aid, f"Student {group}-{index}"))
+            authors.add((student_aid, f"Student {group}-{index}"))
             students.append((student_aid, group))
             group_students.append(student_aid)
 
@@ -141,11 +177,10 @@ def generate_dblp(config: DblpConfig | None = None) -> DblpData:
             year = rng.randint(config.affiliation_year_cutoff, config.last_year)
             new_paper(year, [student_aid, other])
 
-    database = Database()
-    database.create_table("Author", ["aid", "name"], authors)
-    database.create_table("Wrote", ["aid", "pid"], sorted(wrote))
-    database.create_table("Pub", ["pid", "title", "year"], pubs)
-    database.create_table("HomePage", ["aid", "url"], homepages)
+    authors.flush()
+    pubs.flush()
+    homepages.flush()
+    wrote_table.insert_many(sorted(wrote))
     _add_derived_views(database)
     return DblpData(
         config=config,
@@ -159,8 +194,8 @@ def generate_dblp(config: DblpConfig | None = None) -> DblpData:
 def _add_derived_views(database: Database) -> None:
     """Materialise the derived views FirstPub and DBLPAffiliation of Fig. 1."""
     first_pub: dict[int, int] = {}
-    pub_year = {pid: year for pid, __, year in database.rows("Pub")}
-    for aid, pid in database.rows("Wrote"):
+    pub_year = {pid: year for pid, __, year in database.table("Pub").scan()}
+    for aid, pid in database.table("Wrote").scan():
         year = pub_year[pid]
         if aid not in first_pub or year < first_pub[aid]:
             first_pub[aid] = year

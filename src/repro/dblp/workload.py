@@ -45,6 +45,7 @@ def build_mvdb(
     data: DblpData | None = None,
     include_views: tuple[str, ...] = ("V1", "V2", "V3"),
     include_affiliation: bool = True,
+    backend: "str | None" = None,
 ) -> DblpWorkload:
     """Build the DBLP MVDB of Fig. 1.
 
@@ -61,6 +62,10 @@ def build_mvdb(
     include_affiliation:
         Whether to materialise the Affiliation probabilistic table (not needed
         when V3 is excluded; skipping it speeds up sweeps).
+    backend:
+        Storage backend spec for the MVDB (and, when ``data`` is not
+        supplied, for the generated deterministic dataset too) —
+        ``"memory"`` (default), ``"sqlite"`` or ``"sqlite:<path>"``.
     """
     unknown = sorted(set(include_views) - {"V1", "V2", "V3"})
     if unknown:
@@ -68,12 +73,12 @@ def build_mvdb(
         # intended correlations and make every probability quietly wrong.
         raise SchemaError(f"unknown MarkoView name(s) {unknown}; choose from V1, V2, V3")
     config = config or DblpConfig()
-    data = data or generate_dblp(config)
+    data = data or generate_dblp(config, backend=backend)
     tables = build_probabilistic_tables(data)
 
-    mvdb = MVDB()
+    mvdb = MVDB(backend=backend)
     for table in data.database:
-        mvdb.add_deterministic_table(table.name, table.schema.attribute_names, table.rows())
+        mvdb.add_deterministic_table(table.name, table.schema.attribute_names, table.scan())
     mvdb.add_deterministic_table("RecentCoPub", ["aid1", "aid2"], recent_copub_rows(tables, config))
 
     mvdb.add_probabilistic_table(

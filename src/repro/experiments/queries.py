@@ -27,18 +27,25 @@ from repro.experiments.harness import ExperimentResult, query_row, time_call
 
 @dataclass(frozen=True)
 class FullDatasetSettings:
-    """Scale of the full-dataset experiments."""
+    """Scale of the full-dataset experiments.
+
+    ``backend`` is a storage-backend spec (``None``/``"memory"``,
+    ``"sqlite"``, ``"sqlite:<path>"``) applied to the generated dataset and
+    the MVDB — the sqlite backend is what makes the 10^5–10^6-tuple points
+    of the scalability sweep feasible.
+    """
 
     group_count: int = 24
     seed: int = 0
     query_count: int = 10
+    backend: str | None = None
 
 
 def full_workload(settings: FullDatasetSettings | None = None) -> DblpWorkload:
     """The full synthetic DBLP workload (all MarkoViews)."""
     settings = settings or FullDatasetSettings()
     config = DblpConfig(group_count=settings.group_count, seed=settings.seed)
-    return build_mvdb(config)
+    return build_mvdb(config, backend=settings.backend)
 
 
 # --------------------------------------------------------------------- Fig. 1
@@ -125,17 +132,33 @@ def fig11_affiliation_of_author(
 
 
 # ---------------------------------------------------------------- §5.4 scale
+#: Above this many W clauses the 2-worker rebuild is skipped (recorded 0.0):
+#: at the large sweep points it would only double an already-long build.
+PARALLEL_REBUILD_CLAUSE_LIMIT = 20_000
+
+
 def scalability_index_build(
     settings: FullDatasetSettings | None = None,
     workload: DblpWorkload | None = None,
+    tuple_targets: "tuple[int, ...] | None" = None,
 ) -> ExperimentResult:
-    """§5.4: offline cost and size of building the MV-index on the full dataset."""
+    """§5.4: offline cost and size of building the MV-index, along a tuples axis.
+
+    One row per dataset scale.  With ``tuple_targets`` (approximate total
+    tuple counts, e.g. ``(10_000, 100_000, 1_000_000)``) the synthetic DBLP
+    generator is re-run at group counts extrapolated from ``settings`` to hit
+    each target; otherwise a single row at ``settings.group_count`` (or the
+    supplied ``workload``) is measured.  ``index_build_s`` is the end-to-end
+    offline cost (translate + lineage of ``W`` + serial index compile).
+    """
     settings = settings or FullDatasetSettings()
-    workload = workload or full_workload(settings)
     result = ExperimentResult(
         name="scalability_index_build",
-        description="Offline MV-index construction on the full synthetic dataset",
+        description="Offline MV-index construction along the dataset-size axis",
         columns=[
+            "tuples",
+            "groups",
+            "backend",
             "possible_tuples",
             "w_lineage_clauses",
             "index_nodes",
@@ -146,44 +169,56 @@ def scalability_index_build(
             "index_build_workers2_s",
         ],
     )
-    build_seconds, engine = time_call(lambda: MVQueryEngine(workload.mvdb, build_index=False))
-    index_seconds, engine_with_index = time_call(lambda: MVQueryEngine(workload.mvdb, build_index=True))
-    index = engine_with_index.mv_index
-    if index is not None:
-        # Serial vs 2-worker sharded compile of the bare MV-index, measured
-        # on the same basis (lineage and order already in hand), so the two
-        # columns are directly comparable; the parallel figure includes pool
-        # startup and shard-merge overhead — what a cold offline build pays.
-        # ``index_build_s`` above additionally covers translation + lineage.
-        from repro.mvindex.index import MVIndex
 
-        serial_seconds, __ = time_call(
-            lambda: MVIndex(
-                engine_with_index.w_lineage,
-                engine_with_index.probabilities,
-                engine_with_index.order,
-            )
-        )
-        parallel_seconds, __ = time_call(
-            lambda: MVIndex(
-                engine_with_index.w_lineage,
-                engine_with_index.probabilities,
-                engine_with_index.order,
-                workers=2,
-            )
-        )
+    if tuple_targets is None:
+        workloads = [workload or full_workload(settings)]
     else:
-        serial_seconds = parallel_seconds = 0.0
-    result.add_row(
-        possible_tuples=workload.mvdb.possible_tuple_count(),
-        w_lineage_clauses=engine.w_lineage_size,
-        index_nodes=index.size if index is not None else 0,
-        index_components=index.component_count() if index is not None else 0,
-        translate_and_lineage_s=build_seconds,
-        index_build_s=index_seconds,
-        index_build_serial_s=serial_seconds,
-        index_build_workers2_s=parallel_seconds,
-    )
+        base = full_workload(settings)
+        per_group = max(1, base.mvdb.database.total_rows() // settings.group_count)
+        workloads = []
+        for target in tuple_targets:
+            groups = max(1, round(target / per_group))
+            scaled = FullDatasetSettings(
+                group_count=groups,
+                seed=settings.seed,
+                query_count=settings.query_count,
+                backend=settings.backend,
+            )
+            workloads.append(full_workload(scaled))
+
+    from repro.mvindex.index import MVIndex
+
+    for load in workloads:
+        build_seconds, engine = time_call(lambda: MVQueryEngine(load.mvdb, build_index=False))
+        serial_seconds, index = time_call(
+            lambda: MVIndex(engine.w_lineage, engine.probabilities, engine.order)
+            if not engine.w_lineage.is_false
+            else None
+        )
+        if index is not None and engine.w_lineage_size <= PARALLEL_REBUILD_CLAUSE_LIMIT:
+            # 2-worker sharded compile on the same basis (lineage and order in
+            # hand); includes pool startup and shard-merge overhead — what a
+            # cold offline build pays.
+            parallel_seconds, __ = time_call(
+                lambda: MVIndex(
+                    engine.w_lineage, engine.probabilities, engine.order, workers=2
+                )
+            )
+        else:
+            parallel_seconds = 0.0
+        result.add_row(
+            tuples=load.mvdb.database.total_rows(),
+            groups=load.config.group_count,
+            backend=load.mvdb.database.backend.name,
+            possible_tuples=load.mvdb.possible_tuple_count(),
+            w_lineage_clauses=engine.w_lineage_size,
+            index_nodes=index.size if index is not None else 0,
+            index_components=index.component_count() if index is not None else 0,
+            translate_and_lineage_s=build_seconds,
+            index_build_s=build_seconds + serial_seconds,
+            index_build_serial_s=serial_seconds,
+            index_build_workers2_s=parallel_seconds,
+        )
     return result
 
 

@@ -33,8 +33,10 @@ from repro.query.ucq import UCQ
 class TupleIndependentDatabase:
     """An INDB: deterministic tables plus weighted, independent probabilistic tuples."""
 
-    def __init__(self, database: Database | None = None) -> None:
-        self.database = database if database is not None else Database()
+    def __init__(self, database: Database | None = None, backend: Any = None) -> None:
+        if database is not None and backend is not None:
+            raise SchemaError("pass either an existing database or a backend spec, not both")
+        self.database = database if database is not None else Database(backend=backend)
         self._probabilistic: set[str] = set()
         self._weights: dict[tuple[str, Row], float] = {}
         self._var_of: dict[tuple[str, Row], int] = {}

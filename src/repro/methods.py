@@ -129,10 +129,20 @@ class _IntersectMethod(InferenceMethod):
             raise InferenceError(
                 "the MV-index was not built (build_index=False); use method='obdd' or 'shannon'"
             )
+        # Condition on the touched components only: the untouched
+        # ``P0(¬W_k)`` factors cancel between numerator and denominator, and
+        # materialising them underflows to 0/0 once the index holds a few
+        # thousand components (the 10^5+ tuple scales of Sect. 5).
+        index = engine.mv_index
         numerator = type(self)._intersect(
-            engine.mv_index, lineage, engine.probabilities, statistics=statistics
+            index,
+            lineage,
+            engine.probabilities,
+            statistics=statistics,
+            include_untouched=False,
         )
-        denominator = engine.mv_index.probability_not_w()
+        touched_keys = {c.key for c in index.touched_components(lineage.variables())}
+        denominator = index.touched_factor(touched_keys)
         if denominator == 0.0:
             raise InferenceError(
                 "P0(¬W) = 0: the MarkoView hard constraints are violated in every world"

@@ -104,15 +104,22 @@ def cc_mv_intersect(
     query_lineage: DNF,
     probabilities: Mapping[int, float] | None = None,
     statistics: IntersectStatistics | None = None,
+    include_untouched: bool = True,
 ) -> float:
-    """``P0(Q ∧ ¬W)`` by the cache-conscious flat-array traversal."""
+    """``P0(Q ∧ ¬W)`` by the cache-conscious flat-array traversal.
+
+    With ``include_untouched=False`` the product over components the query
+    does not touch is left out — the caller divides by the touched-only
+    ``P0(¬W_k)`` product instead, which keeps the Theorem 1 ratio finite on
+    indexes with thousands of components (see :meth:`MVIndex.touched_factor`).
+    """
     probabilities = probabilities or {}
     stats = statistics if statistics is not None else IntersectStatistics()
 
     if query_lineage.is_false:
         return 0.0
     if query_lineage.is_true:
-        return index.probability_not_w()
+        return index.probability_not_w() if include_untouched else 1.0
 
     query, order = compile_query_obdd(index, query_lineage, probabilities)
     touched = index.touched_components(query_lineage.variables())
@@ -120,7 +127,7 @@ def cc_mv_intersect(
     stats.touched_components = len(touched)
     stats.untouched_components = index.component_count() - len(touched)
     stats.query_obdd_nodes = max(0, len(query.prob_under) - 2)
-    untouched = index.untouched_factor(touched_keys)
+    untouched = index.untouched_factor(touched_keys) if include_untouched else 1.0
     if not touched:
         return query.probability * untouched
 
@@ -134,7 +141,13 @@ def cc_mv_intersect(
         # pointer-based algorithm, which has a synthesised fallback.
         from repro.mvindex.intersect import mv_intersect
 
-        return mv_intersect(index, query_lineage, probabilities, statistics=stats)
+        return mv_intersect(
+            index,
+            query_lineage,
+            probabilities,
+            statistics=stats,
+            include_untouched=include_untouched,
+        )
 
     flat_query = FlatObdd.from_manager(query.manager, query.root, query.prob_under)
     chain = [_flat_component(component) for component in ordered]

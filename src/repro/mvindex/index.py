@@ -403,6 +403,21 @@ class MVIndex:
                 result *= component.probability_not_w
         return result
 
+    def touched_factor(self, touched_keys: set[int]) -> float:
+        """Product of ``P0(¬W_k)`` over the components touched by a query.
+
+        This is the denominator of the *conditional* Theorem 1 ratio: the
+        untouched components cancel between ``P0(Q ∧ ¬W)`` and ``P0(¬W)``,
+        so dividing the touched-only intersection by this product gives the
+        same probability without ever forming the full ``P0(¬W)`` — which
+        underflows to 0.0 once the index holds a few thousand components.
+        """
+        result = 1.0
+        for key, component in self.components.items():
+            if key in touched_keys:
+                result *= component.probability_not_w
+        return result
+
     def conjoined_not_w_root(self, components: list[IndexedComponent]) -> int:
         """OBDD root of ``∧_k ¬W_k`` over the given components.
 

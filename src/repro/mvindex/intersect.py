@@ -97,15 +97,20 @@ def mv_intersect(
     query_lineage: DNF,
     probabilities: Mapping[int, float] | None = None,
     statistics: IntersectStatistics | None = None,
+    include_untouched: bool = True,
 ) -> float:
-    """``P0(Q ∧ ¬W)`` by the (pointer-based) MVIntersect algorithm."""
+    """``P0(Q ∧ ¬W)`` by the (pointer-based) MVIntersect algorithm.
+
+    ``include_untouched=False`` omits the product over components the query
+    does not touch (see :func:`repro.mvindex.cc_intersect.cc_mv_intersect`).
+    """
     probabilities = probabilities or {}
     stats = statistics if statistics is not None else IntersectStatistics()
 
     if query_lineage.is_false:
         return 0.0
     if query_lineage.is_true:
-        return index.probability_not_w()
+        return index.probability_not_w() if include_untouched else 1.0
 
     query, order = compile_query_obdd(index, query_lineage, probabilities)
     touched = index.touched_components(query_lineage.variables())
@@ -113,7 +118,7 @@ def mv_intersect(
     stats.touched_components = len(touched)
     stats.untouched_components = index.component_count() - len(touched)
     stats.query_obdd_nodes = max(0, len(query.prob_under) - 2)
-    untouched = index.untouched_factor(touched_keys)
+    untouched = index.untouched_factor(touched_keys) if include_untouched else 1.0
 
     if not touched:
         return query.probability * untouched

@@ -1,16 +1,38 @@
 """Evaluation of conjunctive queries and UCQs over a database, with lineage.
 
-The evaluator runs index-nested-loop joins over the deterministic instance
-``I_poss`` (the instance containing *all* possible tuples).  For every answer
-tuple it also returns the lineage: a monotone DNF over the Boolean variables
-of the probabilistic tuples used by each derivation.  Which tuples are
-probabilistic — and which Boolean variable they map to — is supplied through
-a :class:`LineageProvider`.
+The evaluator runs a left-deep **hash-join pipeline** over the deterministic
+instance ``I_poss`` (the instance containing *all* possible tuples).  Atoms
+are ordered greedily (most-bound, then smallest); each join step either
+
+* **index-probes** the atom's relation when the intermediate result is small
+  relative to the table (the index-nested-loop regime that keeps point
+  queries fast), or
+* **builds a hash table** over the atom's rows — with constants pushed down
+  into the scan — and probes it with the intermediate result; when the build
+  side exceeds :data:`DEFAULT_BUILD_BUDGET` rows, the join falls back to
+  **grace partitioning**: build and probe sides are split by a deterministic
+  hash of the join key and joined partition by partition, bounding the
+  resident build-table size at ``build_side / GRACE_PARTITIONS``.
+
+Intermediate tuples are projected onto the variables still needed
+downstream, so wide joins do not drag dead columns along.  For every answer
+tuple the evaluator also returns the lineage: a monotone DNF over the
+Boolean variables of the probabilistic tuples used by each derivation —
+exactly the ``(tuple, event)`` stream the ConOBDD compiler consumes.  Which
+tuples are probabilistic (and which Boolean variable they map to) is
+supplied through a :class:`LineageProvider`.
+
+Both storage backends expose insertion-ordered scans and lookups, and the
+grace partitioner uses a content-based hash (:func:`zlib.crc32` over
+``repr``), so the pipeline is fully deterministic: the same database
+content yields the same derivation stream — and bit-identical
+probabilities — on either backend, across processes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Protocol, Sequence
+import zlib
+from typing import Any, Iterator, Mapping, Protocol, Sequence
 
 from repro.db.database import Database
 from repro.db.table import Row
@@ -20,6 +42,15 @@ from repro.query.atoms import Atom, Comparison
 from repro.query.cq import ConjunctiveQuery
 from repro.query.terms import Variable, is_variable
 from repro.query.ucq import UCQ, as_ucq
+
+#: Build-side row budget above which a hash join grace-partitions.
+DEFAULT_BUILD_BUDGET = 200_000
+
+#: Number of grace partitions (resident build memory ~ build/partitions).
+GRACE_PARTITIONS = 16
+
+#: Intermediate-result size up to which index probing beats a hash build.
+INDEX_PROBE_THRESHOLD = 64
 
 
 class LineageProvider(Protocol):
@@ -85,21 +116,44 @@ class QueryResult:
 
 
 def _order_atoms(query: ConjunctiveQuery, database: Database) -> list[Atom]:
-    """Greedy join order: start selective, then follow bound variables."""
+    """Greedy join order by estimated output cardinality.
 
-    def selectivity(atom: Atom, bound: set[Variable]) -> tuple[int, int]:
-        bound_terms = sum(
-            1 for term in atom.terms if not is_variable(term) or term in bound
-        )
-        size = len(database.table(atom.relation)) if atom.relation in database else 0
-        return (-bound_terms, size)
+    At each step the atom with the smallest *estimated matches per probe* is
+    chosen: ``|T| / prod(distinct(T, p))`` over every position ``p`` that is a
+    constant or an already-bound variable.  Counting bound *positions* alone
+    is not enough — after ``Advisor(aid1, aid2), Student(aid1, year)`` both
+    ``Pub(pid, title, year)`` and ``Wrote(aid1, pid)`` have exactly one bound
+    position, but joining ``Pub`` on ``year`` alone multiplies by every
+    publication of that year (an intermediate that grows with the database,
+    turning the whole evaluation quadratic), while ``Wrote`` on ``aid1``
+    multiplies only by one author's papers.  Column distinct counts are the
+    cheap statistic that tells these apart.
+    """
+    stats: dict[tuple[str, int], int] = {}
 
-    remaining = list(query.atoms)
+    def distinct(atom: Atom, position: int) -> int:
+        key = (atom.relation, position)
+        if key not in stats:
+            table = database.table(atom.relation)
+            stats[key] = table.distinct_count(position)
+        return max(1, stats[key])
+
+    def selectivity(atom: Atom, bound: set[Variable], index: int) -> tuple:
+        if atom.relation not in database:
+            return (0.0, 0, index)
+        size = len(database.table(atom.relation))
+        estimate = float(size)
+        for position, term in enumerate(atom.terms):
+            if not is_variable(term) or term in bound:
+                estimate /= distinct(atom, position)
+        return (estimate, size, index)
+
+    remaining = list(enumerate(query.atoms))
     ordered: list[Atom] = []
     bound: set[Variable] = set()
     while remaining:
-        remaining.sort(key=lambda atom: selectivity(atom, bound))
-        chosen = remaining.pop(0)
+        remaining.sort(key=lambda pair: selectivity(pair[1], bound, pair[0]))
+        __, chosen = remaining.pop(0)
         ordered.append(chosen)
         bound.update(chosen.variables())
     return ordered
@@ -111,14 +165,143 @@ def _pending_comparisons(
     return [c for c in comparisons if all(v in bound for v in c.variables())]
 
 
+def _grace_partition(key: tuple[Any, ...]) -> int:
+    """Deterministic partition of a join key (stable across processes)."""
+    data = repr(key).encode("utf-8", "backslashreplace")
+    return zlib.crc32(data) % GRACE_PARTITIONS
+
+
+#: One intermediate tuple: projected variable values + lineage clause so far.
+_Item = tuple[tuple[Any, ...], frozenset[int]]
+
+
+class _JoinStep:
+    """One atom of the pipeline: term analysis + emit logic for matches."""
+
+    def __init__(
+        self,
+        atom: Atom,
+        slots: dict[Variable, int],
+        keep: set[Variable],
+        comparisons: Sequence[Comparison],
+        provider: LineageProvider,
+    ) -> None:
+        self.atom = atom
+        self.slots = slots
+        self.comparisons = comparisons
+        self.provider = provider
+        self.const_bindings: dict[int, Any] = {}
+        self.join_by_pos: list[tuple[int, int]] = []  # (row position, env slot)
+        self.first_pos: dict[Variable, int] = {}  # new variable -> first position
+        self.dup_checks: list[tuple[int, int]] = []  # repeated new variable
+        for position, term in enumerate(atom.terms):
+            if is_variable(term):
+                if term in slots:
+                    self.join_by_pos.append((position, slots[term]))
+                elif term in self.first_pos:
+                    self.dup_checks.append((position, self.first_pos[term]))
+                else:
+                    self.first_pos[term] = position
+            else:
+                self.const_bindings[position] = term.value  # type: ignore[union-attr]
+        self.comp_vars = {v for c in comparisons for v in c.variables()}
+        # Output layout: surviving old slots (in order), then new variables
+        # (in first-occurrence order), filtered to what is needed downstream.
+        self.out_layout = [v for v in slots if v in keep]
+        self.out_layout += [v for v in self.first_pos if v in keep]
+        self.out_slots = {v: i for i, v in enumerate(self.out_layout)}
+
+    def _value(self, variable: Variable, env: tuple[Any, ...], row: Row) -> Any:
+        slot = self.slots.get(variable)
+        if slot is not None:
+            return env[slot]
+        return row[self.first_pos[variable]]
+
+    def row_consistent(self, row: Row) -> bool:
+        """Within-atom checks a raw scan does not cover (repeated variables)."""
+        return all(row[p] == row[q] for p, q in self.dup_checks)
+
+    def emit(self, env: tuple[Any, ...], clause: frozenset[int], row: Row, out: list[_Item]) -> None:
+        """Extend one intermediate with one matching row (filters + lineage)."""
+        if self.comparisons:
+            substitution = {v: self._value(v, env, row) for v in self.comp_vars}
+            if not all(c.evaluate(substitution) for c in self.comparisons):
+                return
+        variable = self.provider.variable_for(self.atom.relation, row)
+        if variable is not None:
+            clause = clause | {variable}
+        out.append((tuple(self._value(v, env, row) for v in self.out_layout), clause))
+
+    def probe_key(self, env: tuple[Any, ...]) -> tuple[Any, ...]:
+        return tuple(env[slot] for _, slot in self.join_by_pos)
+
+    def build_key(self, row: Row) -> tuple[Any, ...]:
+        return tuple(row[pos] for pos, _ in self.join_by_pos)
+
+
+def _index_probe(step: _JoinStep, items: list[_Item], table: Any) -> list[_Item]:
+    """Index-nested-loop regime: one indexed lookup per intermediate tuple."""
+    out: list[_Item] = []
+    for env, clause in items:
+        bindings = dict(step.const_bindings)
+        for position, slot in step.join_by_pos:
+            bindings[position] = env[slot]
+        for row in table.lookup(bindings):
+            if step.row_consistent(row):
+                step.emit(env, clause, row, out)
+    return out
+
+
+def _build_rows(step: _JoinStep, table: Any, partition: int | None) -> Iterator[Row]:
+    """Scan the build side with constants pushed down, optionally partitioned."""
+    for row in table.scan(dict(step.const_bindings)):
+        if not step.row_consistent(row):
+            continue
+        if partition is not None and _grace_partition(step.build_key(row)) != partition:
+            continue
+        yield row
+
+
+def _hash_join(
+    step: _JoinStep, items: list[_Item], table: Any, build_budget: int
+) -> list[_Item]:
+    """Build/probe regime, grace-partitioned when the build side is too big."""
+    out: list[_Item] = []
+    if len(table) > build_budget and step.join_by_pos:
+        # Grace fallback: split probe side by join-key hash once, then build
+        # one bounded partition of the table at a time.
+        probe_parts: list[list[_Item]] = [[] for __ in range(GRACE_PARTITIONS)]
+        for item in items:
+            probe_parts[_grace_partition(step.probe_key(item[0]))].append(item)
+        partitions: list[tuple[int | None, list[_Item]]] = [
+            (p, part) for p, part in enumerate(probe_parts) if part
+        ]
+    else:
+        partitions = [(None, items)]
+    for partition, probe_items in partitions:
+        build: dict[tuple[Any, ...], list[Row]] = {}
+        for row in _build_rows(step, table, partition):
+            build.setdefault(step.build_key(row), []).append(row)
+        for env, clause in probe_items:
+            for row in build.get(step.probe_key(env), ()):
+                step.emit(env, clause, row, out)
+    return out
+
+
 def evaluate_cq(
     query: ConjunctiveQuery,
     database: Database,
     lineage: LineageProvider | None = None,
     result: QueryResult | None = None,
+    build_budget: int | None = None,
 ) -> QueryResult:
-    """Evaluate a conjunctive query, returning answers with lineage."""
+    """Evaluate a conjunctive query, returning answers with lineage.
+
+    ``build_budget`` caps the resident build side of each hash join before
+    grace partitioning kicks in (default :data:`DEFAULT_BUILD_BUDGET`).
+    """
     provider = lineage or NoLineage()
+    budget = DEFAULT_BUILD_BUDGET if build_budget is None else build_budget
     if result is None:
         result = QueryResult(query.head)
     ordered_atoms = _order_atoms(query, database)
@@ -144,43 +327,32 @@ def evaluate_cq(
 
     head = query.head
 
-    def recurse(depth: int, substitution: dict[Variable, Any], clause: set[int]) -> None:
-        if depth == len(ordered_atoms):
-            answer = tuple(substitution[v] for v in head)
-            result.add_derivation(answer, frozenset(clause))
-            return
-        atom = ordered_atoms[depth]
-        table = database.table(atom.relation)
-        bindings: dict[int, Any] = {}
-        for position, term in enumerate(atom.terms):
-            if is_variable(term):
-                if term in substitution:
-                    bindings[position] = substitution[term]
-            else:
-                bindings[position] = term.value  # type: ignore[union-attr]
-        for row in table.lookup(bindings):
-            new_substitution = dict(substitution)
-            consistent = True
-            for position, term in enumerate(atom.terms):
-                if is_variable(term):
-                    existing = new_substitution.get(term, row[position])
-                    if existing != row[position]:
-                        consistent = False
-                        break
-                    new_substitution[term] = row[position]
-            if not consistent:
-                continue
-            if not all(c.evaluate(new_substitution) for c in comparison_schedule[depth]):
-                continue
-            variable = provider.variable_for(atom.relation, row)
-            if variable is None:
-                recurse(depth + 1, new_substitution, clause)
-            else:
-                clause.add(variable)
-                recurse(depth + 1, new_substitution, clause)
-                clause.discard(variable)
+    # Liveness: after depth d, keep only variables used by later atoms, later
+    # comparisons, or the head.
+    future: set[Variable] = set(head)
+    keep: list[set[Variable]] = [set()] * len(ordered_atoms)
+    for depth in range(len(ordered_atoms) - 1, -1, -1):
+        keep[depth] = set(future)
+        future = future | set(ordered_atoms[depth].variables())
+        future |= {v for c in comparison_schedule[depth] for v in c.variables()}
 
-    recurse(0, {}, set())
+    items: list[_Item] = [((), frozenset())]
+    slots: dict[Variable, int] = {}
+    for depth, atom in enumerate(ordered_atoms):
+        table = database.table(atom.relation)
+        step = _JoinStep(atom, slots, keep[depth], comparison_schedule[depth], provider)
+        small_probe = len(items) <= INDEX_PROBE_THRESHOLD or len(items) * 8 <= len(table)
+        if (step.join_by_pos or step.const_bindings) and small_probe:
+            items = _index_probe(step, items, table)
+        else:
+            items = _hash_join(step, items, table, budget)
+        slots = step.out_slots
+        if not items:
+            return result
+
+    for env, clause in items:
+        answer = tuple(env[slots[v]] for v in head)
+        result.add_derivation(answer, clause)
     return result
 
 
@@ -188,6 +360,7 @@ def evaluate_ucq(
     query: UCQ | ConjunctiveQuery,
     database: Database,
     lineage: LineageProvider | None = None,
+    build_budget: int | None = None,
 ) -> QueryResult:
     """Evaluate a UCQ (or a single CQ) with lineage.
 
@@ -198,7 +371,7 @@ def evaluate_ucq(
     ucq = as_ucq(query)
     result = QueryResult(ucq.head)
     for disjunct in ucq.disjuncts:
-        evaluate_cq(disjunct, database, lineage, result)
+        evaluate_cq(disjunct, database, lineage, result, build_budget=build_budget)
     return result
 
 

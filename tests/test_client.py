@@ -11,7 +11,7 @@ import pytest
 import repro
 from repro.core.engine import MVQueryEngine
 from repro.dblp.config import DblpConfig
-from repro.dblp.workload import build_mvdb, students_of_advisor
+from repro.dblp.workload import affiliation_of_author, build_mvdb, students_of_advisor
 from repro.errors import ClientError, InferenceError
 from repro.results import Answer, QueryResult
 from repro.serving.artifact import save_engine
@@ -178,7 +178,11 @@ class TestExtend:
         partial = build_mvdb(DblpConfig(group_count=4, seed=0), include_views=("V1", "V2"))
         full = build_mvdb(DblpConfig(group_count=4, seed=0), include_views=("V1", "V2", "V3"))
         client = repro.connect(partial.mvdb)
-        query = students_of_advisor("Advisor 0")
+        # An affiliation query: its lineage lives in the components V3
+        # creates, so the extension genuinely moves its probabilities.  (A
+        # student/advisor query would not budge — components the query does
+        # not touch cancel exactly out of the Theorem 1 ratio.)
+        query = affiliation_of_author("Student 0-0")
         before = client.query(query)
         assert client.query(query).cached is True
 

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.db import Attribute, Database, RelationSchema, Table, load_database, save_database
+from repro.db import (
+    Attribute,
+    Database,
+    RelationSchema,
+    Table,
+    load_database,
+    load_table,
+    save_database,
+)
 from repro.errors import SchemaError, UnknownRelationError
 
 
@@ -157,3 +165,74 @@ class TestCsvRoundTrip:
         loaded = load_database(tmp_path)
         assert sorted(loaded.rows("Author")) == [(1, "Ada"), (2, "Alan")]
         assert loaded.rows("Pub") == [(7, 1999)]
+
+
+class TestCsvEdgeCases:
+    """Edge cases of db/csvio.py: quoting, blanks, arity, duplicates."""
+
+    def test_quoted_fields_with_embedded_delimiters(self, tmp_path):
+        path = tmp_path / "Author.csv"
+        path.write_text(
+            'aid,name\n1,"Lovelace, Ada"\n2,"Turing ""Alan"""\n3,"multi\nline"\n'
+        )
+        table = load_table("Author", path)
+        assert sorted(table.rows()) == [
+            (1, "Lovelace, Ada"),
+            (2, 'Turing "Alan"'),
+            (3, "multi\nline"),
+        ]
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n\n1,2\n\n\n3,4\n\n")
+        table = load_table("R", path)
+        assert sorted(table.rows()) == [(1, 2), (3, 4)]
+
+    def test_arity_mismatch_reports_line_number(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n1,2\n1,2,3\n")
+        with pytest.raises(SchemaError, match=r"R\.csv:3: row has 3 fields, expected 2"):
+            load_table("R", path)
+
+    def test_missing_field_is_an_arity_mismatch_too(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError, match="row has 1 fields, expected 2"):
+            load_table("R", path)
+
+    def test_empty_file_without_header_is_rejected(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty CSV file"):
+            load_table("R", path)
+
+    def test_duplicate_rows_collapse_to_set_semantics(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n1,2\n1,2\n3,4\n1,2\n")
+        table = load_table("R", path)
+        assert len(table) == 2
+        assert sorted(table.rows()) == [(1, 2), (3, 4)]
+
+    def test_type_inference_round_trips(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b,c\n1,1.5,one\n-2,2e3,1_0\n")
+        table = load_table("R", path)
+        # ints stay ints (including zero-padded and underscore forms, which
+        # int() accepts), floats stay floats, non-numeric strings stay strings.
+        assert sorted(table.rows()) == [(-2, 2000.0, 10), (1, 1.5, "one")]
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_backends_load_identically(self, tmp_path, backend):
+        path = tmp_path / "R.csv"
+        path.write_text('a,b\n1,"x,y"\n\n1,"x,y"\n2,z\n')
+        table = load_table("R", path, backend=backend)
+        assert list(table.rows()) == [(1, "x,y"), (2, "z")]
+
+    def test_load_database_on_sqlite_backend(self, tmp_path):
+        db = Database()
+        db.create_table("Author", ["aid", "name"], [(1, "Ada"), (2, "Alan")])
+        save_database(db, tmp_path)
+        loaded = load_database(tmp_path, backend="sqlite")
+        assert loaded.backend.name == "sqlite"
+        assert sorted(loaded.rows("Author")) == [(1, "Ada"), (2, "Alan")]
+        loaded.close()
