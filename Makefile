@@ -42,11 +42,12 @@ scale-smoke:
 coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing:skip-covered tests
 
-## Documentation checks: every python block in README.md, docs/api.md and
-## docs/serving.md must run (with DeprecationWarning as an error), and the
-## documented modules must render under pydoc.
+## Documentation checks: every python block in README.md, docs/api.md,
+## docs/serving.md and docs/architecture.md must run (with
+## DeprecationWarning as an error), and the documented modules must render
+## under pydoc.
 docs-check:
-	$(PYTHON) scripts/check_readme.py README.md docs/api.md docs/serving.md
+	$(PYTHON) scripts/check_readme.py README.md docs/api.md docs/serving.md docs/architecture.md
 
 ## Run every example end-to-end on the facade; a DeprecationWarning leaking
 ## from the facade's own code paths is an error.

@@ -1,29 +1,40 @@
 #!/usr/bin/env python
 """Serving benchmark: HTTP throughput/latency over a loopback server.
 
-Builds the small DBLP workload, starts the JSON-HTTP server
-(:mod:`repro.serving.server`) on an ephemeral loopback port, and drives it
-with the zipf-skewed workload mix (:mod:`repro.serving.loadgen`) through a
-matrix of load shapes:
+Builds the small DBLP workload, starts the JSON-HTTP serving tier on an
+ephemeral loopback port, and drives it with the zipf-skewed workload mix
+(:mod:`repro.serving.loadgen`) through a matrix of load shapes:
 
 * closed loop at several concurrency levels (capacity);
 * open loop at a fixed arrival rate (latency under target load);
+* the **replica curve**: closed-loop capacity against ``repro serve
+  --replicas N`` fleets for N = 1, 2, 4, with the load generator forked
+  into one process per replica so the client GIL never becomes the
+  bottleneck being measured;
 
 each after a cold round that populates the caching tiers, so the recorded
 rows reflect warm serving — the regime a long-lived server lives in.
 Results go to ``benchmarks/results/serving_http.csv`` and to stdout.
 
+``--gate`` additionally checks the scale-out acceptance bar: 4-replica
+qps over single-replica qps must reach a floor that depends on how many
+CPUs the machine actually has (2.5x needs >= 6 cores: 4 replicas + router
++ load generator; a 1-2 core box physically cannot show it, so the floor
+degrades to a sanity check there).  ``--margin`` widens the floor the way
+``scripts/bench_gate.py`` does for noisy shared runners.
+
 Usage::
 
     python scripts/bench_serving.py                  # full matrix
     python scripts/bench_serving.py --duration 2     # quicker rounds (CI)
-    python scripts/bench_serving.py --out other.csv
+    python scripts/bench_serving.py --gate           # enforce the scale-out floor
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 from pathlib import Path
 
@@ -33,13 +44,18 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.engine import MVQueryEngine  # noqa: E402
 from repro.dblp.config import DblpConfig  # noqa: E402
 from repro.dblp.workload import build_mvdb  # noqa: E402
-from repro.serving.loadgen import WorkloadMix, run_closed, run_open  # noqa: E402
+from repro.serving.loadgen import WorkloadMix, fetch_stats, run_closed, run_open  # noqa: E402
+from repro.serving.router import serve_fleet  # noqa: E402
 from repro.serving.server import ProbServer  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "serving_http.csv"
 
+#: The replica counts of the recorded qps-vs-replicas curve.
+REPLICA_CURVE = (1, 2, 4)
+
 COLUMNS = [
     "mode",
+    "replicas",
     "concurrency",
     "target_rate",
     "duration_s",
@@ -69,25 +85,69 @@ def measure(groups: int, seed: int, duration_s: float, workers: int) -> list[dic
         # One cold round populates every caching tier; it is reported too,
         # labelled closed-cold, so the cold/warm gap stays visible.
         cold = run_closed(server.url, duration_s=duration_s, concurrency=4, mix=mix, seed=seed)
-        previous = _append_row(rows, "closed-cold", cold, server, previous)
+        previous = _append_row(rows, "closed-cold", cold, server.dispatcher.cache_stats(), previous)
         for concurrency in (1, 4, 8, 16):
             report = run_closed(
                 server.url, duration_s=duration_s, concurrency=concurrency, mix=mix, seed=seed
             )
-            previous = _append_row(rows, "closed", report, server, previous)
+            previous = _append_row(
+                rows, "closed", report, server.dispatcher.cache_stats(), previous
+            )
         open_report = run_open(
             server.url, duration_s=duration_s, rate=200.0, mix=mix, seed=seed, max_outstanding=32
         )
-        _append_row(rows, "open", open_report, server, previous)
+        _append_row(rows, "open", open_report, server.dispatcher.cache_stats(), previous)
     finally:
         server.stop()
+    rows.extend(measure_replica_curve(engine, mix, duration_s, workers, seed))
     return rows
 
 
-def _append_row(rows: list[dict], mode: str, report, server: ProbServer, previous: dict) -> dict:
-    # The dispatcher's cache counters are cumulative since server start;
-    # each row reports the hit ratio of its OWN round's traffic.
-    cache = server.dispatcher.cache_stats()
+def measure_replica_curve(
+    engine: MVQueryEngine, mix: WorkloadMix, duration_s: float, workers: int, seed: int
+) -> list[dict]:
+    """Closed-loop capacity of ``--replicas N`` fleets for the recorded curve.
+
+    The engine is built once and fork-inherited by every fleet size; the
+    load generator forks one process per replica so a single client GIL
+    (a few thousand req/s) cannot cap a multi-replica measurement.
+    """
+    rows: list[dict] = []
+    for replicas in REPLICA_CURVE:
+        router = serve_fleet(
+            engine,
+            replicas=replicas,
+            server_kwargs={"workers": workers, "max_queue": 128},
+        ).start()
+        try:
+            previous = fetch_stats(router.url)["cache"]
+            # Cold round: populates every replica's caching tiers (the
+            # consistent hash spreads the key population over the fleet).
+            run_closed(
+                router.url, duration_s=max(1.0, duration_s / 2), concurrency=4,
+                mix=mix, seed=seed, processes=replicas,
+            )
+            previous = fetch_stats(router.url)["cache"]
+            report = run_closed(
+                router.url, duration_s=duration_s, concurrency=8,
+                mix=mix, seed=seed, processes=replicas,
+            )
+            _append_row(
+                rows, "fleet-closed", report, fetch_stats(router.url)["cache"], previous,
+                replicas=replicas,
+            )
+        finally:
+            router.stop()
+    return rows
+
+
+def _append_row(
+    rows: list[dict], mode: str, report, cache: dict, previous: dict, replicas: int = 1
+) -> dict:
+    # Cache counters are cumulative since (fleet) server start; each row
+    # reports the hit ratio of its OWN round's traffic.  ``cache`` accepts
+    # both a dispatcher's cache_stats() and a cluster roll-up's "cache"
+    # section — the per-tier hits/misses shape is the same by construction.
 
     def round_ratio(tier: str) -> float:
         hits = cache[tier]["hits"] - previous[tier]["hits"]
@@ -97,6 +157,7 @@ def _append_row(rows: list[dict], mode: str, report, server: ProbServer, previou
     rows.append(
         {
             "mode": mode,
+            "replicas": replicas,
             "concurrency": report.concurrency,
             "target_rate": report.target_rate or "",
             "duration_s": round(report.duration_s, 3),
@@ -116,13 +177,67 @@ def _append_row(rows: list[dict], mode: str, report, server: ProbServer, previou
     return cache
 
 
+def required_speedup(cpus: int, margin: float) -> float:
+    """The 4-vs-1 replica qps floor this machine can honestly be held to.
+
+    The full acceptance bar (>= 2.5x) needs the 4 replicas, the router,
+    and the load generator to actually run in parallel — six-plus cores.
+    Below that the floor degrades: a 1-core box timeshares everything, so
+    the only meaningful check is that the fleet is not pathologically
+    slower than a single replica.
+    """
+    if cpus >= 6:
+        base = 2.5
+    elif cpus >= 4:
+        base = 1.8
+    elif cpus >= 2:
+        base = 1.2
+    else:
+        base = 0.35
+    return base * margin
+
+
+def check_gate(rows: list[dict], margin: float) -> int:
+    by_replicas = {
+        row["replicas"]: row for row in rows if row["mode"] == "fleet-closed"
+    }
+    if 1 not in by_replicas or 4 not in by_replicas:
+        print("gate: missing fleet-closed rows for replicas 1 and 4", file=sys.stderr)
+        return 1
+    single = by_replicas[1]["qps"]
+    quad = by_replicas[4]["qps"]
+    if single <= 0:
+        print("gate: single-replica qps is zero; nothing to compare", file=sys.stderr)
+        return 1
+    speedup = quad / single
+    cpus = os.cpu_count() or 1
+    floor = required_speedup(cpus, margin)
+    verdict = "PASS" if speedup >= floor else "FAIL"
+    print(
+        f"gate: 4-replica {quad:.1f} qps / 1-replica {single:.1f} qps = "
+        f"{speedup:.2f}x (floor {floor:.2f}x on {cpus} cpus, margin {margin:g}) -> {verdict}"
+    )
+    return 0 if verdict == "PASS" else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--groups", type=int, default=8, help="DBLP research groups")
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
     parser.add_argument("--duration", type=float, default=3.0, help="seconds per load round")
-    parser.add_argument("--workers", type=int, default=4, help="dispatch workers")
+    parser.add_argument("--workers", type=int, default=4, help="dispatch workers per replica")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="CSV output path")
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail unless 4-replica qps clears the cpu-aware floor over 1-replica qps",
+    )
+    parser.add_argument(
+        "--margin",
+        type=float,
+        default=1.0,
+        help="multiplier on the gate floor (<1 relaxes it for noisy shared runners)",
+    )
     args = parser.parse_args(argv)
 
     rows = measure(args.groups, args.seed, args.duration, args.workers)
@@ -133,7 +248,9 @@ def main(argv: list[str] | None = None) -> int:
         writer.writeheader()
         writer.writerows(rows)
 
-    width = {column: max(len(column), *(len(str(row[column])) for row in rows)) for column in COLUMNS}
+    width = {
+        column: max(len(column), *(len(str(row[column])) for row in rows)) for column in COLUMNS
+    }
     print("  ".join(column.ljust(width[column]) for column in COLUMNS))
     for row in rows:
         print("  ".join(str(row[column]).ljust(width[column]) for column in COLUMNS))
@@ -142,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
     if errors:
         print(f"serving bench saw {errors} errors", file=sys.stderr)
         return 1
+    if args.gate:
+        return check_gate(rows, args.margin)
     return 0
 
 

@@ -27,7 +27,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: Markdown files checked when none are given on the command line.
-DEFAULT_FILES = ["README.md", "docs/api.md", "docs/serving.md"]
+DEFAULT_FILES = ["README.md", "docs/api.md", "docs/serving.md", "docs/architecture.md"]
 
 #: Modules whose pydoc rendering is part of the documentation contract.
 PYDOC_MODULES = [
@@ -39,7 +39,9 @@ PYDOC_MODULES = [
     "repro.serving.artifact",
     "repro.serving.canonical",
     "repro.serving.dispatch",
+    "repro.serving.fleet",
     "repro.serving.loadgen",
+    "repro.serving.router",
     "repro.serving.server",
     "repro.serving.session",
     "repro.mvindex.augmented",

@@ -92,6 +92,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--concurrency", type=int, default=8, help="closed-loop workers")
     parser.add_argument("--workers", type=int, default=4, help="server dispatch workers")
     parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="serve through a replica fleet + router instead of one ProbServer",
+    )
+    parser.add_argument(
         "--p95-ms", type=float, default=2000.0, help="p95 latency bound (generous)"
     )
     parser.add_argument(
@@ -101,14 +107,26 @@ def main(argv: list[str] | None = None) -> int:
 
     workload = build_mvdb(DblpConfig(group_count=args.groups, seed=args.seed))
     db = repro.connect(workload.mvdb)
-    server = ProbServer(db.engine, workers=args.workers, max_queue=64).start()
+    if args.replicas > 1:
+        from repro.serving.router import serve_fleet
+
+        # The same invariants must hold through the router: the cluster
+        # /v1/stats roll-up is shaped like a single server's document, so
+        # the monotonic-counter poller runs unchanged against it.
+        server = serve_fleet(
+            db.engine,
+            replicas=args.replicas,
+            server_kwargs={"workers": args.workers, "max_queue": 64},
+        ).start()
+    else:
+        server = ProbServer(db.engine, workers=args.workers, max_queue=64).start()
+        server.dispatcher.warm()
     failures: list[str] = []
     stop = threading.Event()
     poller = threading.Thread(
         target=poll_stats, args=(server.url, stop, 1.0, failures), daemon=True
     )
     try:
-        server.dispatcher.warm()
         poller.start()
         mix = WorkloadMix(entities=max(2, args.groups // 2))
         report = run_closed(

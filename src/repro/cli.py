@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from typing import Callable
 
@@ -263,6 +264,12 @@ def build_serving_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8080, help="bind port (0 picks a free one)")
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="worker processes behind a consistent-hash router (>1 forks a fleet)",
+    )
     serve.add_argument("--workers", type=int, default=4, help="dispatch worker threads")
     serve.add_argument(
         "--max-queue", type=int, default=64, help="admission limit (queued + running requests)"
@@ -285,6 +292,12 @@ def build_serving_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--duration", type=float, default=10.0, help="seconds to run")
     loadtest.add_argument(
         "--concurrency", type=int, default=8, help="closed-loop workers / open-loop outstanding cap"
+    )
+    loadtest.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="closed-loop load processes (fork; one GIL cannot saturate a fleet)",
     )
     loadtest.add_argument(
         "--rate", type=float, default=50.0, help="open-loop arrival rate (requests/second)"
@@ -469,6 +482,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         engine = repro.connect(workload.mvdb).engine
         source = f"in-process DBLP workload (groups={args.groups}, views={','.join(views)})"
+    def raise_interrupt(signum: int, frame: object) -> None:
+        # Unwind serve_forever() so the finally-clause drains in-flight
+        # requests; calling stop() from inside the handler would deadlock
+        # (shutdown() waits for the serve loop the handler is parked in).
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, raise_interrupt)
+    print(f"serving {source}", flush=True)
+    if args.replicas > 1:
+        from repro.serving.router import serve_fleet
+
+        router = serve_fleet(
+            engine,
+            replicas=args.replicas,
+            host=args.host,
+            port=args.port,
+            extender=extender,
+            server_kwargs={
+                "workers": args.workers,
+                "max_queue": args.max_queue,
+                **({"cache_size": args.cache_size} if args.cache_size is not None else {}),
+                "verbose": args.verbose,
+            },
+        )
+        # bind() returns only after every replica passed its first health
+        # check, so the URL line below never races a half-up fleet.
+        router.bind()
+        print(
+            f"listening on {router.url} (replicas={args.replicas}, "
+            f"workers={args.workers}, max_queue={args.max_queue})",
+            flush=True,
+        )
+        try:
+            router.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            router.stop()
+        return EXIT_OK
     server = ProbServer(
         engine,
         host=args.host,
@@ -480,9 +532,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verbose=args.verbose,
     )
     server.dispatcher.warm()
-    # The URL line goes out first (and flushed) so scripts that started this
-    # process with --port 0 can read the bound address.
-    print(f"serving {source}", flush=True)
+    # The URL line goes out after the server is bound (and flushed) so
+    # scripts that started this process with --port 0 can read the address.
     print(f"listening on {server.url} (workers={args.workers}, max_queue={args.max_queue})",
           flush=True)
     try:
@@ -506,6 +557,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             mix=mix,
             method=args.method,
             seed=args.seed,
+            processes=args.processes,
         )
     else:
         load_report = run_open(

@@ -73,6 +73,162 @@ _QPS_WINDOW = 10.0
 CACHE_TIERS = ("string", "result", "lineage")
 
 
+def render_metrics(stats: dict[str, Any], extra_lines: Sequence[str] = ()) -> str:
+    """Render a ``/v1/stats``-shaped document as Prometheus exposition text.
+
+    One definition for both a single :class:`Dispatcher` and the router's
+    cluster roll-up (which merges many dispatcher documents with
+    :func:`merge_stats` first), so the two expositions cannot drift apart.
+    ``extra_lines`` are appended verbatim (the router adds fleet gauges).
+    """
+    lines = [
+        "# HELP repro_requests_total Queries served since process start.",
+        "# TYPE repro_requests_total counter",
+        f"repro_requests_total {stats['throughput']['requests_total']}",
+        "# HELP repro_rejected_total Requests refused by admission control.",
+        "# TYPE repro_rejected_total counter",
+        f"repro_rejected_total {stats['admission']['rejected_total']}",
+        "# HELP repro_coalesced_total Requests coalesced onto an in-flight twin.",
+        "# TYPE repro_coalesced_total counter",
+        f"repro_coalesced_total {stats['admission']['coalesced_total']}",
+        "# HELP repro_errors_total Requests that raised instead of answering.",
+        "# TYPE repro_errors_total counter",
+        f"repro_errors_total {stats['errors']['total']}",
+        "# HELP repro_qps Requests per second over the trailing window.",
+        "# TYPE repro_qps gauge",
+        f"repro_qps {stats['throughput']['qps']:.6f}",
+        "# HELP repro_queue_depth Requests queued or running right now.",
+        "# TYPE repro_queue_depth gauge",
+        f"repro_queue_depth {stats['queue_depth']}",
+        "# HELP repro_generation Invalidation epoch (bumped by /v1/extend).",
+        "# TYPE repro_generation gauge",
+        f"repro_generation {stats['generation']}",
+        "# HELP repro_request_latency_ms Request latency quantiles.",
+        "# TYPE repro_request_latency_ms summary",
+    ]
+    latency = stats["latency_ms"]
+    for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms")):
+        lines.append(f'repro_request_latency_ms{{quantile="{quantile}"}} {latency[key]:.6f}')
+    lines += [
+        "# HELP repro_cache_hits_total Cache hits by tier.",
+        "# TYPE repro_cache_hits_total counter",
+    ]
+    for tier in CACHE_TIERS:
+        lines.append(f'repro_cache_hits_total{{tier="{tier}"}} {stats["cache"][tier]["hits"]}')
+    lines += [
+        "# HELP repro_cache_misses_total Cache misses by tier.",
+        "# TYPE repro_cache_misses_total counter",
+    ]
+    for tier in CACHE_TIERS:
+        lines.append(f'repro_cache_misses_total{{tier="{tier}"}} {stats["cache"][tier]["misses"]}')
+    lines += [
+        "# HELP repro_responses_total HTTP responses by status code.",
+        "# TYPE repro_responses_total counter",
+    ]
+    for status, count in sorted(stats["errors"]["responses_by_status"].items()):
+        lines.append(f'repro_responses_total{{status="{status}"}} {count}')
+    lines.extend(extra_lines)
+    return "\n".join(lines) + "\n"
+
+
+def merge_stats(documents: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-replica ``/v1/stats`` documents into one cluster document.
+
+    Counters (requests, answers, rejections, errors, cache hits/misses,
+    responses by status) add up exactly.  Gauges compose by their natural
+    operation: queue depths and worker counts sum, uptime takes the oldest
+    replica.  ``generation`` is the **minimum** across replicas — the epoch
+    every replica is guaranteed to have reached (during an extend broadcast
+    replicas disagree briefly; ``generation_max`` exposes the frontier).
+    Latency percentiles cannot be merged exactly from summaries, so they are
+    count-weighted averages (and ``max_ms`` the true max) — an approximation
+    that is documented in the metrics glossary of ``docs/serving.md``.
+    """
+    if not documents:
+        return {
+            "generation": 0,
+            "generation_max": 0,
+            "workers": 0,
+            "max_queue": 0,
+            "queue_depth": 0,
+            "in_flight": 0,
+            "throughput": {"qps": 0.0, "lifetime_qps": 0.0, "requests_total": 0,
+                           "answers_total": 0},
+            "latency_ms": latency_summary([]),
+            "admission": {"queue_depth": 0, "max_queue": 0, "rejected_total": 0,
+                          "coalesced_total": 0},
+            "errors": {"total": 0, "responses_by_status": {}},
+            "cache": {tier: {"hits": 0, "misses": 0, "hit_ratio": 0.0, "entries": 0}
+                      for tier in CACHE_TIERS},
+            "uptime_s": 0.0,
+        }
+
+    def total(*path: str) -> float:
+        values = []
+        for document in documents:
+            value: Any = document
+            for part in path:
+                value = value.get(part, 0) if isinstance(value, dict) else 0
+            values.append(value or 0)
+        return sum(values)
+
+    statuses: dict[str, int] = {}
+    for document in documents:
+        for status, count in document.get("errors", {}).get("responses_by_status", {}).items():
+            statuses[status] = statuses.get(status, 0) + count
+
+    counts = [document.get("latency_ms", {}).get("count", 0) for document in documents]
+    weight_total = sum(counts) or 1
+    latency: dict[str, float] = {"count": sum(counts)}
+    for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms"):
+        latency[key] = sum(
+            document.get("latency_ms", {}).get(key, 0.0) * count
+            for document, count in zip(documents, counts)
+        ) / weight_total
+    latency["max_ms"] = max(
+        (document.get("latency_ms", {}).get("max_ms", 0.0) for document in documents),
+        default=0.0,
+    )
+
+    generations = [document.get("generation", 0) for document in documents]
+    cache = {
+        tier: {
+            "hits": int(total("cache", tier, "hits")),
+            "misses": int(total("cache", tier, "misses")),
+            "entries": int(total("cache", tier, "entries")),
+        }
+        for tier in CACHE_TIERS
+    }
+    for tier_stats in cache.values():
+        touched = tier_stats["hits"] + tier_stats["misses"]
+        tier_stats["hit_ratio"] = tier_stats["hits"] / touched if touched else 0.0
+
+    return {
+        "generation": min(generations),
+        "generation_max": max(generations),
+        "workers": int(total("workers")),
+        "max_queue": int(total("max_queue")),
+        "queue_depth": int(total("queue_depth")),
+        "in_flight": int(total("in_flight")),
+        "throughput": {
+            "qps": total("throughput", "qps"),
+            "lifetime_qps": total("throughput", "lifetime_qps"),
+            "requests_total": int(total("throughput", "requests_total")),
+            "answers_total": int(total("throughput", "answers_total")),
+        },
+        "latency_ms": latency,
+        "admission": {
+            "queue_depth": int(total("queue_depth")),
+            "max_queue": int(total("max_queue")),
+            "rejected_total": int(total("admission", "rejected_total")),
+            "coalesced_total": int(total("admission", "coalesced_total")),
+        },
+        "errors": {"total": int(total("errors", "total")), "responses_by_status": statuses},
+        "cache": cache,
+        "uptime_s": max(document.get("uptime_s", 0.0) for document in documents),
+    }
+
+
 class _ReadWriteLock:
     """A writer-preferring read/write lock.
 
@@ -640,58 +796,7 @@ class Dispatcher:
 
     def metrics_text(self) -> str:
         """The metrics as Prometheus-style exposition text."""
-        stats = self.stats()
-        lines = [
-            "# HELP repro_requests_total Queries served since process start.",
-            "# TYPE repro_requests_total counter",
-            f"repro_requests_total {stats['throughput']['requests_total']}",
-            "# HELP repro_rejected_total Requests refused by admission control.",
-            "# TYPE repro_rejected_total counter",
-            f"repro_rejected_total {stats['admission']['rejected_total']}",
-            "# HELP repro_coalesced_total Requests coalesced onto an in-flight twin.",
-            "# TYPE repro_coalesced_total counter",
-            f"repro_coalesced_total {stats['admission']['coalesced_total']}",
-            "# HELP repro_errors_total Requests that raised instead of answering.",
-            "# TYPE repro_errors_total counter",
-            f"repro_errors_total {stats['errors']['total']}",
-            "# HELP repro_qps Requests per second over the trailing window.",
-            "# TYPE repro_qps gauge",
-            f"repro_qps {stats['throughput']['qps']:.6f}",
-            "# HELP repro_queue_depth Requests queued or running right now.",
-            "# TYPE repro_queue_depth gauge",
-            f"repro_queue_depth {stats['queue_depth']}",
-            "# HELP repro_generation Invalidation epoch (bumped by /v1/extend).",
-            "# TYPE repro_generation gauge",
-            f"repro_generation {stats['generation']}",
-            "# HELP repro_request_latency_ms Request latency quantiles.",
-            "# TYPE repro_request_latency_ms summary",
-        ]
-        latency = stats["latency_ms"]
-        for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms")):
-            lines.append(
-                f'repro_request_latency_ms{{quantile="{quantile}"}} {latency[key]:.6f}'
-            )
-        lines += [
-            "# HELP repro_cache_hits_total Cache hits by tier.",
-            "# TYPE repro_cache_hits_total counter",
-        ]
-        for tier in CACHE_TIERS:
-            lines.append(f'repro_cache_hits_total{{tier="{tier}"}} {stats["cache"][tier]["hits"]}')
-        lines += [
-            "# HELP repro_cache_misses_total Cache misses by tier.",
-            "# TYPE repro_cache_misses_total counter",
-        ]
-        for tier in CACHE_TIERS:
-            lines.append(
-                f'repro_cache_misses_total{{tier="{tier}"}} {stats["cache"][tier]["misses"]}'
-            )
-        lines += [
-            "# HELP repro_responses_total HTTP responses by status code.",
-            "# TYPE repro_responses_total counter",
-        ]
-        for status, count in sorted(stats["errors"]["responses_by_status"].items()):
-            lines.append(f'repro_responses_total{{status="{status}"}} {count}')
-        return "\n".join(lines) + "\n"
+        return render_metrics(self.stats())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -268,21 +268,16 @@ def _summarize(
     return report
 
 
-def run_closed(
+def _closed_samples(
     url: str,
-    duration_s: float = 10.0,
-    concurrency: int = 8,
-    mix: WorkloadMix | None = None,
-    method: str = "mvindex",
-    seed: int = 0,
-    timeout: float = 30.0,
-) -> LoadReport:
-    """Closed-loop load: ``concurrency`` workers back-to-back for ``duration_s``."""
-    mix = mix or WorkloadMix()
-    # Fail fast (in the caller's thread) on a bad URL or workload mix —
-    # inside a worker these would die silently into an empty report.
-    _Connection(url, timeout).close()
-    mix.population()
+    duration_s: float,
+    concurrency: int,
+    mix: WorkloadMix,
+    method: str,
+    seed: int,
+    timeout: float,
+) -> list[tuple[int, float, int]]:
+    """The closed-loop worker pool of one process; returns raw samples."""
     deadline = time.monotonic() + duration_s
     all_samples: list[tuple[int, float, int]] = []
     merge_lock = threading.Lock()
@@ -304,13 +299,80 @@ def run_closed(
                 all_samples.extend(samples)
 
     threads = [threading.Thread(target=worker, args=(index,)) for index in range(concurrency)]
-    start = time.monotonic()
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
+    return all_samples
+
+
+def run_closed(
+    url: str,
+    duration_s: float = 10.0,
+    concurrency: int = 8,
+    mix: WorkloadMix | None = None,
+    method: str = "mvindex",
+    seed: int = 0,
+    timeout: float = 30.0,
+    processes: int = 1,
+) -> LoadReport:
+    """Closed-loop load: ``concurrency`` workers back-to-back for ``duration_s``.
+
+    With ``processes > 1`` the worker pool is forked into that many load
+    *processes* (``concurrency`` threads each), and the raw samples are
+    merged in the parent so percentiles stay exact.  A single Python
+    process tops out around a few thousand requests/s on its own GIL —
+    not enough to saturate a multi-replica fleet, which would silently
+    turn a server benchmark into a client benchmark.
+    """
+    mix = mix or WorkloadMix()
+    # Fail fast (in the caller's thread) on a bad URL or workload mix —
+    # inside a worker these would die silently into an empty report.
+    _Connection(url, timeout).close()
+    mix.population()
+    if processes < 1:
+        raise ServingError(f"processes must be >= 1, got {processes}")
+    if processes == 1:
+        start = time.monotonic()
+        samples = _closed_samples(url, duration_s, concurrency, mix, method, seed, timeout)
+        elapsed = time.monotonic() - start
+        return _summarize("closed", elapsed, concurrency, None, samples)
+
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ServingError("processes > 1 requires the 'fork' start method (POSIX)")
+    context = multiprocessing.get_context("fork")
+
+    def child(index: int, conn: Any) -> None:
+        samples = _closed_samples(
+            url, duration_s, concurrency, mix, method, seed + 7907 * (index + 1), timeout
+        )
+        conn.send(samples)
+        conn.close()
+
+    pipes = []
+    children = []
+    start = time.monotonic()
+    for index in range(processes):
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(target=child, args=(index, child_conn), daemon=True)
+        process.start()
+        child_conn.close()
+        pipes.append(parent_conn)
+        children.append(process)
+    all_samples: list[tuple[int, float, int]] = []
+    for parent_conn, process in zip(pipes, children):
+        try:
+            # Receive BEFORE join: a child blocked on a full pipe buffer
+            # cannot exit, so joining first would deadlock on big samples.
+            all_samples.extend(parent_conn.recv())
+        except EOFError:  # pragma: no cover - a load child crashed
+            pass
+        parent_conn.close()
+        process.join()
     elapsed = time.monotonic() - start
-    return _summarize("closed", elapsed, concurrency, None, all_samples)
+    return _summarize("closed", elapsed, concurrency * processes, None, all_samples)
 
 
 def run_open(

@@ -34,8 +34,10 @@ from __future__ import annotations
 
 import json
 import threading
+import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.core.engine import MVQueryEngine
 from repro.core.mvdb import MVDB
@@ -124,6 +126,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ routes
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        with self.server.prob_server.request_tracked():
+            self._do_get()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        with self.server.prob_server.request_tracked():
+            self._do_post()
+
+    def _do_get(self) -> None:
         try:
             if self.path == "/healthz":
                 self._handle_healthz()
@@ -138,7 +148,7 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             self._internal_error(exc)
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _do_post(self) -> None:
         try:
             try:
                 self._raw_body = self._read_raw_body()
@@ -259,6 +269,11 @@ class _HttpServer(ThreadingHTTPServer):
     """ThreadingHTTPServer that knows its owning :class:`ProbServer`."""
 
     daemon_threads = True
+    # server_close() must not join handler threads: a keep-alive client
+    # parked between requests would block shutdown forever.  Draining waits
+    # on the active-REQUEST count (ProbServer.request_tracked) instead —
+    # idle connections are droppable, in-flight requests are not.
+    block_on_close = False
     prob_server: "ProbServer"
 
 
@@ -301,6 +316,8 @@ class ProbServer:
         self._http.prob_server = self
         self._thread: threading.Thread | None = None
         self._serving = False
+        self._active = 0
+        self._active_lock = threading.Lock()
 
     # ------------------------------------------------------------------ basics
     @property
@@ -333,15 +350,38 @@ class ProbServer:
         finally:
             self._serving = False
 
-    def stop(self) -> None:
-        """Shut the HTTP loop and the dispatch workers down (idempotent).
+    @contextmanager
+    def request_tracked(self) -> Iterator[None]:
+        """Count one in-flight request (what :meth:`stop` drains on)."""
+        with self._active_lock:
+            self._active += 1
+        try:
+            yield
+        finally:
+            with self._active_lock:
+                self._active -= 1
 
-        Safe to call on a server that was never started:
-        ``BaseServer.shutdown`` blocks forever unless ``serve_forever`` is
-        running, so it is only invoked while the serve loop is live.
+    @property
+    def active_requests(self) -> int:
+        """Requests currently inside a handler (excluding idle keep-alives)."""
+        with self._active_lock:
+            return self._active
+
+    def stop(self, grace: float = 5.0) -> None:
+        """Drain in-flight requests, then shut everything down (idempotent).
+
+        New connections stop being accepted immediately; requests already
+        inside a handler get up to ``grace`` seconds to finish (idle
+        keep-alive connections do not count — they are dropped).  Safe to
+        call on a server that was never started: ``BaseServer.shutdown``
+        blocks forever unless ``serve_forever`` is running, so it is only
+        invoked while the serve loop is live.
         """
         if self._serving:
             self._http.shutdown()
+        deadline = time.monotonic() + grace
+        while self.active_requests and time.monotonic() < deadline:
+            time.sleep(0.005)
         self._http.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
