@@ -15,7 +15,13 @@ the results against the committed baseline in
   effort and may not exceed the recorded count by more than 5%;
 * **wall-clock must stay inside budget**: every timed section has a budget
   (in *normalized* time, see below) and fails the gate when it exceeds the
-  budget by more than 25%.
+  budget by more than 25%;
+* **the recorded write-path evidence must hold**: the committed
+  ``benchmarks/results/serving_http.csv`` must contain the
+  ``ingest-steady`` / ``ingest-extend`` row pair and the recorded
+  extend-in-flight query p99 must be within 2x the steady-state p99 — the
+  non-blocking write path's acceptance bar, re-measured (and re-gated
+  live) by ``scripts/bench_serving.py --gate``.
 
 Wall-clock comparisons across machines are meaningless, so every run first
 times a fixed pure-Python calibration workload and divides the measured
@@ -41,6 +47,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import csv
 import json
 import sys
 import time
@@ -60,6 +67,10 @@ from repro.numerics import GATE_PROBABILITY_ULPS, within_ulps  # noqa: E402
 from repro.obdd.construct import build_obdd  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "bench_gate_baseline.json"
+DEFAULT_SERVING_CSV = REPO_ROOT / "benchmarks" / "results" / "serving_http.csv"
+
+#: Recorded write-path bar: extend-in-flight query p99 over steady p99.
+INGEST_STALL_FACTOR = 2.0
 
 #: Smoke scale: large enough for stable timings, small enough for CI.
 SMOKE_GROUPS = 40
@@ -250,6 +261,39 @@ def compare(current: dict, baseline: dict, margin: float = REGRESSION_MARGIN) ->
     return failures
 
 
+def check_serving_csv(path: Path) -> list[str]:
+    """Violations of the recorded write-path evidence (empty = pass).
+
+    The committed serving CSV is the durable record of the non-blocking
+    write path: its ``ingest-extend`` row's query p99 (write ops are
+    tagged out of that column by the loadgen) must be within
+    ``INGEST_STALL_FACTOR`` of the ``ingest-steady`` row's.  The live
+    re-measurement happens in ``bench_serving.py --gate``; this check
+    keeps the committed evidence from silently going stale or missing.
+    """
+    if not path.exists():
+        return [f"serving CSV missing at {path}; run scripts/bench_serving.py"]
+    with path.open(newline="") as handle:
+        rows = {row["mode"]: row for row in csv.DictReader(handle)}
+    failures: list[str] = []
+    for mode in ("ingest-steady", "ingest-extend"):
+        if mode not in rows:
+            failures.append(f"serving CSV at {path} has no {mode} row")
+    if failures:
+        return failures
+    steady = float(rows["ingest-steady"]["p99_ms"])
+    during = float(rows["ingest-extend"]["p99_ms"])
+    if steady <= 0:
+        return [f"serving CSV records a zero steady-state p99 ({path})"]
+    if during > steady * INGEST_STALL_FACTOR:
+        failures.append(
+            f"recorded extend-in-flight query p99 {during:.3f}ms exceeds "
+            f"{INGEST_STALL_FACTOR:g}x the steady-state p99 {steady:.3f}ms "
+            f"({path}; re-run scripts/bench_serving.py)"
+        )
+    return failures
+
+
 def render_report(current: dict, baseline: dict | None) -> str:
     lines = [
         f"bench gate @ groups={current['scale']['groups']} "
@@ -279,6 +323,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline", type=Path, default=DEFAULT_BASELINE, help="baseline JSON path"
+    )
+    parser.add_argument(
+        "--serving-csv",
+        type=Path,
+        default=DEFAULT_SERVING_CSV,
+        help="recorded serving benchmark CSV holding the ingest row pair",
     )
     parser.add_argument(
         "--update", action="store_true", help="re-record the baseline instead of gating"
@@ -335,6 +385,7 @@ def main(argv: list[str] | None = None) -> int:
 
     print(render_report(current, baseline))
     failures = compare(current, baseline, margin=args.margin)
+    failures.extend(check_serving_csv(args.serving_csv))
     if failures:
         print("\nBENCH GATE FAILED:", file=sys.stderr)
         for failure in failures:

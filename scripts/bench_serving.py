@@ -11,16 +11,25 @@ ephemeral loopback port, and drives it with the zipf-skewed workload mix
   --replicas N`` fleets for N = 1, 2, 4, with the load generator forked
   into one process per replica so the client GIL never becomes the
   bottleneck being measured;
+* the **ingest pair**: a steady read-only round (``ingest-steady``)
+  followed by the same closed-loop read stream with streaming fact
+  appends and one full view extend mixed in (``ingest-extend``).  The
+  latency columns of both rows are *query-only* (the loadgen tags write
+  ops separately), so the pair is the recorded evidence that the
+  epoch-swap write path no longer stalls reads: the in-flight-extend p99
+  must stay within 2x the steady-state p99;
 
 each after a cold round that populates the caching tiers, so the recorded
 rows reflect warm serving — the regime a long-lived server lives in.
 Results go to ``benchmarks/results/serving_http.csv`` and to stdout.
 
-``--gate`` additionally checks the scale-out acceptance bar: 4-replica
-qps over single-replica qps must reach a floor that depends on how many
-CPUs the machine actually has (2.5x needs >= 6 cores: 4 replicas + router
-+ load generator; a 1-2 core box physically cannot show it, so the floor
-degrades to a sanity check there).  ``--margin`` widens the floor the way
+``--gate`` additionally checks two acceptance bars.  The scale-out bar:
+4-replica qps over single-replica qps must reach a floor that depends on
+how many CPUs the machine actually has (2.5x needs >= 6 cores: 4 replicas
++ router + load generator; a 1-2 core box physically cannot show it, so
+the floor degrades to a sanity check there).  The write-path bar: the
+``ingest-extend`` query p99 must stay within ``INGEST_STALL_FACTOR`` (2x)
+of the ``ingest-steady`` p99.  ``--margin`` widens both the way
 ``scripts/bench_gate.py`` does for noisy shared runners.
 
 Usage::
@@ -44,7 +53,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.engine import MVQueryEngine  # noqa: E402
 from repro.dblp.config import DblpConfig  # noqa: E402
 from repro.dblp.workload import build_mvdb  # noqa: E402
-from repro.serving.loadgen import WorkloadMix, fetch_stats, run_closed, run_open  # noqa: E402
+from repro.serving.loadgen import (  # noqa: E402
+    WorkloadMix,
+    fetch_stats,
+    run_closed,
+    run_ingest,
+    run_open,
+)
 from repro.serving.router import serve_fleet  # noqa: E402
 from repro.serving.server import ProbServer  # noqa: E402
 
@@ -52,6 +67,10 @@ DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "serving_http.csv"
 
 #: The replica counts of the recorded qps-vs-replicas curve.
 REPLICA_CURVE = (1, 2, 4)
+
+#: The write-path acceptance bar: query p99 with an extend in flight may
+#: be at most this multiple of the steady-state query p99.
+INGEST_STALL_FACTOR = 2.0
 
 COLUMNS = [
     "mode",
@@ -100,6 +119,62 @@ def measure(groups: int, seed: int, duration_s: float, workers: int) -> list[dic
     finally:
         server.stop()
     rows.extend(measure_replica_curve(engine, mix, duration_s, workers, seed))
+    rows.extend(measure_ingest(groups, seed, duration_s, workers))
+    return rows
+
+
+def measure_ingest(groups: int, seed: int, duration_s: float, workers: int) -> list[dict]:
+    """Query latency with the write path in flight (the non-blocking bar).
+
+    A fresh server starts on the V1+V2 view subset so the ingest round can
+    perform a real delta compile (V3 over the live base) mid-stream while
+    fact batches land every few hundred milliseconds.  Both rows report
+    query-only latencies — the loadgen tags append/extend ops separately —
+    so the comparison is read-stall against read-steady, nothing else.
+    """
+    workload = build_mvdb(
+        DblpConfig(group_count=groups, seed=seed), include_views=("V1", "V2")
+    )
+    engine = MVQueryEngine(workload.mvdb)
+    mix = WorkloadMix(entities=max(2, groups // 2))
+
+    def extender(spec: dict) -> object:
+        return build_mvdb(
+            DblpConfig(group_count=spec.get("groups", groups), seed=spec.get("seed", seed)),
+            include_views=tuple(spec.get("views", ("V1", "V2", "V3"))),
+        ).mvdb
+
+    rows: list[dict] = []
+    server = ProbServer(engine, workers=workers, max_queue=128, extender=extender).start()
+    try:
+        server.dispatcher.warm()
+        previous = server.dispatcher.cache_stats()
+        run_closed(
+            server.url, duration_s=max(1.0, duration_s / 2), concurrency=8,
+            mix=mix, seed=seed,
+        )
+        previous = server.dispatcher.cache_stats()
+        steady = run_closed(
+            server.url, duration_s=duration_s, concurrency=8, mix=mix, seed=seed
+        )
+        previous = _append_row(
+            rows, "ingest-steady", steady, server.dispatcher.cache_stats(), previous
+        )
+        ingest = run_ingest(
+            server.url,
+            duration_s=duration_s,
+            concurrency=8,
+            mix=mix,
+            seed=seed,
+            append_interval_s=1.0,
+            append_batch=4,
+            extend_spec={"groups": groups, "seed": seed, "views": ["V1", "V2", "V3"]},
+        )
+        _append_row(
+            rows, "ingest-extend", ingest, server.dispatcher.cache_stats(), previous
+        )
+    finally:
+        server.stop()
     return rows
 
 
@@ -220,6 +295,30 @@ def check_gate(rows: list[dict], margin: float) -> int:
     return 0 if verdict == "PASS" else 1
 
 
+def check_ingest_gate(rows: list[dict], margin: float) -> int:
+    """Enforce the write-path bar: extend-in-flight read p99 <= 2x steady p99.
+
+    ``margin`` relaxes the bound the same direction as the scale-out floor:
+    values below 1 widen it for noisy shared runners.
+    """
+    steady = next((row for row in rows if row["mode"] == "ingest-steady"), None)
+    during = next((row for row in rows if row["mode"] == "ingest-extend"), None)
+    if steady is None or during is None:
+        print("gate: missing ingest-steady / ingest-extend rows", file=sys.stderr)
+        return 1
+    if steady["p99_ms"] <= 0:
+        print("gate: steady-state p99 is zero; nothing to compare", file=sys.stderr)
+        return 1
+    bound = steady["p99_ms"] * INGEST_STALL_FACTOR / margin
+    verdict = "PASS" if during["p99_ms"] <= bound else "FAIL"
+    print(
+        f"gate: query p99 {during['p99_ms']:.3f}ms with extend in flight vs "
+        f"{steady['p99_ms']:.3f}ms steady (bound {bound:.3f}ms = "
+        f"{INGEST_STALL_FACTOR:g}x / margin {margin:g}) -> {verdict}"
+    )
+    return 0 if verdict == "PASS" else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--groups", type=int, default=8, help="DBLP research groups")
@@ -230,7 +329,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--gate",
         action="store_true",
-        help="fail unless 4-replica qps clears the cpu-aware floor over 1-replica qps",
+        help="fail unless 4-replica qps clears the cpu-aware floor over 1-replica "
+        "qps AND the extend-in-flight query p99 stays within the 2x stall bound",
     )
     parser.add_argument(
         "--margin",
@@ -260,7 +360,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"serving bench saw {errors} errors", file=sys.stderr)
         return 1
     if args.gate:
-        return check_gate(rows, args.margin)
+        return max(check_gate(rows, args.margin), check_ingest_gate(rows, args.margin))
     return 0
 
 

@@ -19,10 +19,21 @@ second, and fails (exit 1) when any serving invariant breaks:
 * the final round of probabilities must match an in-process ``ProbDB``
   byte-for-byte (the transport must not change a single answer).
 
+``--ingest`` switches the stream to the mixed write workload: the server
+starts on the V1+V2 view subset, fact batches are appended on an open-loop
+schedule, and one full view extend lands mid-run while the query stream
+keeps hammering.  All the invariants above still hold — the latency bound
+applies to the *query* ops only (the loadgen tags write ops separately) —
+plus: every write must succeed, and through a fleet the replicas must end
+the run on the same invalidation generation.  The parity reference replays
+the extend, which is the whole point: the write path must leave every
+answer byte-identical to an in-process engine with the same view history.
+
 Usage::
 
     python scripts/load_smoke.py                  # ~15s, CI defaults
     python scripts/load_smoke.py --duration 5     # quicker local check
+    python scripts/load_smoke.py --replicas 2 --ingest   # CI ingest-smoke
 """
 
 from __future__ import annotations
@@ -39,7 +50,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import repro  # noqa: E402
 from repro.dblp.config import DblpConfig  # noqa: E402
 from repro.dblp.workload import build_mvdb  # noqa: E402
-from repro.serving.loadgen import WorkloadMix, fetch_stats, run_closed  # noqa: E402
+from repro.serving.loadgen import (  # noqa: E402
+    WorkloadMix,
+    fetch_stats,
+    run_closed,
+    run_ingest,
+)
 from repro.serving.server import ProbServer  # noqa: E402
 
 #: The cumulative /v1/stats counters that must never decrease.
@@ -103,10 +119,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--min-qps", type=float, default=0.0, help="optional throughput floor (0 = off)"
     )
+    parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="mix streaming fact appends and one mid-run view extend into the stream",
+    )
+    parser.add_argument(
+        "--append-interval",
+        type=float,
+        default=1.0,
+        help="seconds between appended fact batches in --ingest mode",
+    )
     args = parser.parse_args(argv)
 
-    workload = build_mvdb(DblpConfig(group_count=args.groups, seed=args.seed))
+    config = DblpConfig(group_count=args.groups, seed=args.seed)
+    initial_views = ("V1", "V2") if args.ingest else ("V1", "V2", "V3")
+    workload = build_mvdb(config, include_views=initial_views)
     db = repro.connect(workload.mvdb)
+
+    def extender(spec: dict):
+        return build_mvdb(
+            DblpConfig(
+                group_count=spec.get("groups", args.groups),
+                seed=spec.get("seed", args.seed),
+            ),
+            include_views=tuple(spec.get("views", ("V1", "V2", "V3"))),
+        ).mvdb
+
     if args.replicas > 1:
         from repro.serving.router import serve_fleet
 
@@ -116,10 +155,13 @@ def main(argv: list[str] | None = None) -> int:
         server = serve_fleet(
             db.engine,
             replicas=args.replicas,
+            extender=extender,
             server_kwargs={"workers": args.workers, "max_queue": 64},
         ).start()
     else:
-        server = ProbServer(db.engine, workers=args.workers, max_queue=64).start()
+        server = ProbServer(
+            db.engine, workers=args.workers, max_queue=64, extender=extender
+        ).start()
         server.dispatcher.warm()
     failures: list[str] = []
     stop = threading.Event()
@@ -129,13 +171,28 @@ def main(argv: list[str] | None = None) -> int:
     try:
         poller.start()
         mix = WorkloadMix(entities=max(2, args.groups // 2))
-        report = run_closed(
-            server.url,
-            duration_s=args.duration,
-            concurrency=args.concurrency,
-            mix=mix,
-            seed=args.seed,
-        )
+        if args.ingest:
+            report = run_ingest(
+                server.url,
+                duration_s=args.duration,
+                concurrency=args.concurrency,
+                mix=mix,
+                seed=args.seed,
+                append_interval_s=args.append_interval,
+                extend_spec={
+                    "groups": args.groups,
+                    "seed": args.seed,
+                    "views": ["V1", "V2", "V3"],
+                },
+            )
+        else:
+            report = run_closed(
+                server.url,
+                duration_s=args.duration,
+                concurrency=args.concurrency,
+                mix=mix,
+                seed=args.seed,
+            )
         stop.set()
         poller.join(timeout=5.0)
         print(report.render())
@@ -146,7 +203,7 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{report.transport_errors} requests died in transport")
         if report.latency_ms["p95_ms"] > args.p95_ms:
             failures.append(
-                f"p95 latency {report.latency_ms['p95_ms']:.1f}ms exceeds "
+                f"query p95 latency {report.latency_ms['p95_ms']:.1f}ms exceeds "
                 f"the {args.p95_ms:.0f}ms bound"
             )
         if args.min_qps and report.qps < args.min_qps:
@@ -157,11 +214,31 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"server counted {stats['errors']['total']} internal errors")
 
         # Transport parity: the HTTP answers must be byte-identical to the
-        # in-process facade's for the same queries.
+        # in-process facade's for the same queries.  In ingest mode the
+        # reference replays the view history (V1+V2, then the extend): the
+        # write path must not perturb a single answer bit.
+        if args.ingest:
+            if report.ops.get("append", 0) < 1:
+                failures.append("ingest run never appended a fact batch")
+            if report.ops.get("extend", 0) != 1:
+                failures.append(
+                    f"ingest run recorded {report.ops.get('extend', 0)} extends, expected 1"
+                )
+            if args.replicas > 1 and stats["generation"] != stats["generation_max"]:
+                failures.append(
+                    f"replicas ended on different generations: floor "
+                    f"{stats['generation']} vs frontier {stats['generation_max']}"
+                )
+            reference = repro.connect(build_mvdb(config, include_views=("V1", "V2")).mvdb)
+            reference.extend(build_mvdb(config).mvdb)
+        else:
+            reference = db
         remote = repro.connect_remote(server.url)
         queries, __ = mix.population()
         for query in queries[: min(5, len(queries))]:
-            local_doc = json.dumps(db.query(query).to_json()["answers"], sort_keys=True)
+            local_doc = json.dumps(
+                reference.query(query).to_json()["answers"], sort_keys=True
+            )
             remote_doc = json.dumps(remote.query(query).to_json()["answers"], sort_keys=True)
             if local_doc != remote_doc:
                 failures.append(f"transport parity broken for {query!r}")

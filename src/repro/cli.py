@@ -31,6 +31,7 @@ Two families of commands share the ``repro`` entry point:
 
       python -m repro serve dblp-index.json.gz --port 8080 --workers 4
       python -m repro loadtest --duration 10 --concurrency 8
+      python -m repro ingest --duration 15 --append-interval 1 --extend-views V1,V2,V3
 
 Everything is built on the unified client facade (:func:`repro.connect` /
 :func:`repro.open`); ``--json`` prints typed results through
@@ -76,6 +77,7 @@ SERVING_COMMANDS = (
     "serve-batch",
     "serve",
     "loadtest",
+    "ingest",
 )
 
 #: Exit codes: success / user error / internal error.
@@ -311,6 +313,43 @@ def build_serving_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--method", default="mvindex", help="evaluation method")
     loadtest.add_argument("--seed", type=int, default=0, help="workload sampling seed")
     loadtest.add_argument(
+        "--json", action="store_true", help="print the load report as a JSON document"
+    )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="drive a running 'repro serve' with mixed queries, fact appends and one extend",
+    )
+    ingest.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="base URL of the running server"
+    )
+    ingest.add_argument("--duration", type=float, default=15.0, help="seconds to run")
+    ingest.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop query workers"
+    )
+    ingest.add_argument(
+        "--append-interval", type=float, default=1.0, help="seconds between fact appends"
+    )
+    ingest.add_argument(
+        "--append-batch", type=int, default=4, help="new DBLP facts per append"
+    )
+    ingest.add_argument(
+        "--extend-views",
+        default=None,
+        help="comma-separated FULL view set of one mid-run /v1/extend (omit to skip)",
+    )
+    ingest.add_argument(
+        "--groups", type=int, default=8, help="groups of the served workload (for the extend spec)"
+    )
+    ingest.add_argument(
+        "--entities", type=int, default=8, help="distinct query entities per template"
+    )
+    ingest.add_argument(
+        "--zipf", type=float, default=1.1, help="zipf exponent of the entity popularity skew"
+    )
+    ingest.add_argument("--method", default="mvindex", help="evaluation method")
+    ingest.add_argument("--seed", type=int, default=0, help="workload sampling seed")
+    ingest.add_argument(
         "--json", action="store_true", help="print the load report as a JSON document"
     )
     return parser
@@ -579,6 +618,35 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.serving.loadgen import WorkloadMix, run_ingest
+
+    mix = WorkloadMix(entities=args.entities, zipf_exponent=args.zipf)
+    extend_spec = None
+    if args.extend_views:
+        views = [name.strip() for name in args.extend_views.split(",") if name.strip()]
+        extend_spec = {"groups": args.groups, "seed": args.seed, "views": views}
+    load_report = run_ingest(
+        args.url,
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+        mix=mix,
+        method=args.method,
+        seed=args.seed,
+        append_interval_s=args.append_interval,
+        append_batch=args.append_batch,
+        extend_spec=extend_spec,
+    )
+    if args.json:
+        print(json.dumps(load_report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(load_report.render())
+    if not load_report.error_free:
+        print("ingest saw server-side or transport errors", file=sys.stderr)
+        return EXIT_USER
+    return EXIT_OK
+
+
 def _serving_main(argv: list[str]) -> int:
     args = _parse_args(build_serving_parser(), argv)
     handlers = {
@@ -589,6 +657,7 @@ def _serving_main(argv: list[str]) -> int:
         "serve-batch": _cmd_serve_batch,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
+        "ingest": _cmd_ingest,
     }
     return handlers[args.command](args)
 

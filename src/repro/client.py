@@ -136,6 +136,20 @@ class ProbDB:
         self._session.invalidate()
         return added
 
+    def append_facts(self, facts: Mapping[str, Any]) -> int:
+        """Stream new base facts into the database; returns the tuple count.
+
+        ``facts`` maps relation names to fact lists: plain rows for
+        deterministic relations, ``(row, weight)`` pairs for probabilistic
+        ones.  The engine patches its lineage and OBDD index incrementally
+        (:meth:`~repro.core.engine.MVQueryEngine.append_facts`) — no view
+        is recompiled from scratch — and the session caches are
+        invalidated.  Existing tuples cannot change weight through appends.
+        """
+        added = self._engine.append_facts(facts)
+        self._session.invalidate()
+        return added
+
     # ------------------------------------------------------------ inspection
     def stats(self) -> dict[str, Any]:
         """Engine, index and cache statistics as one flat dictionary."""
@@ -337,6 +351,16 @@ class RemoteProbDB:
         """
         document = self._request("/v1/extend", dict(spec))
         return document["added_components"]
+
+    def append_facts(self, facts: Mapping[str, Any]) -> int:
+        """Stream new base facts into the server; returns the tuple count.
+
+        The remote mirror of :meth:`ProbDB.append_facts`: same payload
+        shape (deterministic rows, probabilistic ``[row, weight]`` pairs),
+        shipped as ``{"facts": ...}`` to ``POST /v1/append``.
+        """
+        document = self._request("/v1/append", {"facts": dict(facts)})
+        return document["added_tuples"]
 
     # ------------------------------------------------------------ inspection
     def stats(self) -> dict[str, Any]:

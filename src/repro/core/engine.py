@@ -22,12 +22,19 @@ plus anything registered by third parties via
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.mvdb import MVDB
-from repro.core.translate import Translation, translate
-from repro.errors import InferenceError
+from repro.core.pending import PendingExtend, canonical_facts
+from repro.core.translate import Translation, _w_disjuncts_for_view, translate
+from repro.errors import InferenceError, SchemaError, ServingError, WeightError
 from repro.indb.database import TupleIndependentDatabase
+from repro.indb.weights import (
+    CERTAIN_WEIGHT,
+    markoview_weight_to_indb_weight,
+    weight_to_probability,
+)
 from repro.lineage.dnf import DNF
 from repro.lineage.shannon import shannon_probability
 from repro.mvindex.index import MVIndex
@@ -37,6 +44,7 @@ from repro.query.evaluator import evaluate_ucq
 from repro.query.ucq import UCQ, as_ucq
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.markoview import MarkoView
     from repro.methods import InferenceMethod
     from repro.mvindex.intersect import IntersectStatistics
 
@@ -59,6 +67,10 @@ class MVQueryEngine:
         backend: Any = None,
     ) -> None:
         self.mvdb: MVDB | None = mvdb
+        #: Bumped on every applied mutation; a :class:`PendingExtend` records
+        #: the epoch it was prepared against and is rejected as stale if
+        #: another mutation published in between.
+        self.mutation_epoch: int = 0
         self.translation: Translation | None = translate(mvdb, backend=backend)
         self.indb: TupleIndependentDatabase = self.translation.indb
         self.probabilities: dict[int, float] = self.indb.probabilities()
@@ -105,6 +117,7 @@ class MVQueryEngine:
         """
         engine = cls.__new__(cls)
         engine.mvdb = mvdb
+        engine.mutation_epoch = 0
         engine.translation = None
         engine.indb = indb
         engine.probabilities = indb.probabilities()
@@ -120,39 +133,364 @@ class MVQueryEngine:
     def extend_views(self, mvdb: MVDB) -> list[int]:
         """Extend this engine (and its MV-index) to a superset of MarkoViews.
 
-        ``mvdb`` must be the *same* base data with additional views attached:
-        the Theorem 1 translation hands out tuple variables sequentially, so
-        attaching views only appends variables, and the check below verifies
-        that every previously indexed tuple keeps its variable id and weight.
-        The lineage of the extended ``W`` is diffed against the indexed one
-        and only the new clauses are compiled —
-        :meth:`repro.mvindex.index.MVIndex.extend` recompiles an existing
-        component only when a new clause connects to it.  Returns the keys
+        Single-writer convenience: :meth:`prepare_extend` followed by
+        :meth:`apply_pending`.  Serving callers split the two halves so the
+        expensive prepare runs off the serving lock (see
+        :meth:`repro.serving.dispatch.Dispatcher.extend`).  Returns the keys
         of the components added to the index.
 
         The extended engine answers queries with the same probabilities as a
         from-scratch build; artifacts saved from it are *not* byte-identical
         to a rebuild (component keys and appended variable levels differ).
         """
+        return self.apply_pending(self.prepare_extend(mvdb))
+
+    def append_facts(self, facts: Mapping[str, Any]) -> int:
+        """Stream new base facts into the engine (prepare + apply in one call).
+
+        ``facts`` maps base relation names to fact lists: plain rows for
+        deterministic relations, ``(row, weight)`` pairs for probabilistic
+        ones.  View outputs and the lineage of ``W`` are re-materialised
+        against the appended data, and only the *delta* OBDD components are
+        compiled — untouched views and components are reused as-is.  Returns
+        the number of new possible tuples (probabilistic and deterministic).
+        """
+        pending = self.prepare_append(facts)
+        self.apply_pending(pending)
+        return pending.added_tuple_count
+
+    def prepare_extend(self, mvdb: MVDB) -> PendingExtend:
+        """Compile the delta for attaching new MarkoViews, off the serving lock.
+
+        Read-only with respect to live engine state: the new views' outputs
+        are materialised over a variable-faithful scratch reconstruction of
+        the live INDB, the lineage of the extended ``W`` is diffed against
+        the indexed one, and the delta components are compiled in a *fresh*
+        OBDD manager.  Nothing the serving read path touches is mutated
+        until :meth:`apply_pending`.
+
+        ``mvdb`` must carry every currently attached view (by name) plus the
+        new ones, over base data consistent with the engine's (the engine
+        may additionally hold appended facts the spec does not know about).
+        For artifact-restored engines (no source MVDB) the spec must carry
+        the *identical* base data; a full translation is diffed instead.
+        """
+        if self.mvdb is None:
+            return self._prepare_extend_translated(mvdb)
+        existing_names = {view.name for view in self.mvdb.views}
+        lost = existing_names - {view.name for view in mvdb.views}
+        if lost:
+            raise InferenceError(
+                f"cannot extend: the extension spec dropped MarkoViews {sorted(lost)} "
+                "(views may only be added, not removed or changed)"
+            )
+        for relation, row, weight, __ in mvdb.base.probabilistic_tuples():
+            try:
+                live_weight = self.indb.weight(relation, row)
+            except KeyError:
+                live_weight = None
+            if live_weight != weight:
+                raise InferenceError(
+                    f"cannot extend: tuple {relation}{tuple(row)} has weight {weight} in "
+                    f"the extension spec but {live_weight} in the engine; extension "
+                    "requires the engine's base data with extra views"
+                )
+        new_views = [view for view in mvdb.views if view.name not in existing_names]
+        return self._prepare_delta(new_views=new_views, facts=None, kind="extend")
+
+    def prepare_append(self, facts: Mapping[str, Any]) -> PendingExtend:
+        """Prepare a streaming fact append, off the serving lock.
+
+        The incremental lineage patch needs the MarkoView definitions to
+        re-materialise view outputs over the appended data, so this is only
+        available on engines built from a source MVDB (an artifact-restored
+        engine regains the capability after an extend with a full spec).
+        """
+        if self.mvdb is None:
+            raise InferenceError(
+                "cannot append facts to an artifact-restored engine: the MarkoView "
+                "definitions are not part of the artifact, so view outputs cannot "
+                "be re-materialised; extend it with a full spec first"
+            )
+        return self._prepare_delta(
+            new_views=[], facts=canonical_facts(facts), kind="append"
+        )
+
+    def apply_pending(self, pending: PendingExtend) -> list[int]:
+        """Publish a prepared delta: the O(delta) half the write lock covers.
+
+        Inserts the new tuples into the live INDB (asserting the variable
+        ids the delta was sealed with — the cross-replica byte-identity
+        invariant), splices the ``W`` lineage, imports the pre-compiled node
+        block into the shared manager, and bumps the mutation epoch.  A
+        delta prepared against any earlier epoch is rejected as stale
+        (:class:`~repro.errors.ServingError`) — re-prepare and retry.
+        Returns the keys of the components added to the index.
+        """
+        if pending.base_epoch != self.mutation_epoch:
+            raise ServingError(
+                f"stale PendingExtend: prepared against engine epoch "
+                f"{pending.base_epoch}, but the engine is at {self.mutation_epoch}"
+            )
+        live = self.indb
+        for spec in pending.new_tables:
+            if spec["probabilistic"]:
+                live.add_probabilistic_table(spec["name"], spec["attributes"])
+            else:
+                live.add_deterministic_table(spec["name"], spec["attributes"])
+        if pending.deterministic_facts:
+            live.database.append_facts(pending.deterministic_facts)
+        # Pre-insert the probabilistic rows in per-relation batches (one
+        # transaction each on the sqlite backend); the per-tuple variable
+        # assignment below then sees them as duplicate no-op inserts.
+        by_relation: dict[str, list[tuple]] = {}
+        for relation, row, __, __ in pending.new_tuples:
+            by_relation.setdefault(relation, []).append(row)
+        if by_relation:
+            live.database.append_facts(by_relation)
+        for relation, row, weight, variable in pending.new_tuples:
+            assigned = live.add_probabilistic_tuple(relation, row, weight)
+            if assigned != variable:
+                raise InferenceError(
+                    f"cannot apply sealed delta: tuple {relation}{row} was assigned "
+                    f"variable {assigned}, expected {variable} (engine state diverged "
+                    "from the prepared snapshot)"
+                )
+        removed = {frozenset(clause) for clause in pending.removed_clauses}
+        added_clauses = {frozenset(clause) for clause in pending.added_clauses}
+        clauses = (self.w_lineage.clauses - removed) | added_clauses
+        new_w_lineage = DNF(clauses) if clauses else DNF.false()
+        self.probabilities.update(pending.new_probabilities)
+        added: list[int] = []
+        if self.mv_index is not None and (
+            pending.index_delta is not None or pending.order_append
+        ):
+            added = self.mv_index.apply_prepared(
+                pending.order_append, pending.new_probabilities, pending.index_delta
+            )
+            self.order = self.mv_index.order
+        elif pending.order_append:
+            self.order = self.order.extend(pending.order_append)
+        if pending.kind == "extend":
+            if pending.new_views is not None and self.mvdb is not None:
+                for view in pending.new_views:
+                    self.mvdb.add_markoview(view)
+            elif pending.mvdb is not None:
+                self.mvdb = pending.mvdb
+            elif pending.new_view_names:
+                # Sealed import without view objects: the view set is no
+                # longer known, so degrade to artifact-restored bookkeeping.
+                self.mvdb = None
+        elif self.mvdb is not None:
+            self._mirror_facts(pending)
+        self.w_lineage = new_w_lineage
+        self.translation = None
+        self._p0_w = None
+        self._nonstandard = None
+        self.mutation_epoch += 1
+        return added
+
+    # ----------------------------------------------------- delta preparation
+    def _prepare_delta(
+        self,
+        new_views: "Sequence[MarkoView]",
+        facts: Mapping[str, list] | None,
+        kind: str,
+    ) -> PendingExtend:
+        """Shared prepare pipeline for extends and appends.
+
+        Reconstructs a scratch INDB with the live variable assignment
+        (re-adding tuples in variable order reproduces the sequential ids
+        exactly), appends the new facts and view outputs at the tail, and
+        re-derives the lineage of ``W`` over the result.  The relational
+        pass covers all views (new derivations of existing view outputs must
+        be found too), but OBDD compilation is delta-only.
+        """
+        live = self.indb
+        all_views = list(self.mvdb.views) + list(new_views)
+        new_tables: list[dict[str, Any]] = []
+        deterministic_facts: dict[str, list[tuple]] = {}
+        new_tuples: list[tuple[str, tuple, float, int]] = []
+        scratch = TupleIndependentDatabase(backend=live.database.backend.spawn())
+        try:
+            for table in live.database:
+                if live.is_probabilistic(table.name):
+                    scratch.add_probabilistic_table(table.name, table.schema.attribute_names)
+                else:
+                    scratch.add_deterministic_table(
+                        table.name, table.schema.attribute_names, table.rows()
+                    )
+            for relation, row, weight, variable in live.probabilistic_tuples():
+                if scratch.add_probabilistic_tuple(relation, row, weight) != variable:
+                    raise InferenceError(
+                        "cannot prepare a delta: variable reconstruction diverged "
+                        "from the live engine (corrupt INDB state)"
+                    )
+            if facts:
+                nv_relations = {view.nv_relation for view in all_views}
+                for relation in sorted(facts):
+                    if relation not in live.database:
+                        raise SchemaError(
+                            f"cannot append facts to unknown relation {relation!r}"
+                        )
+                    if relation in nv_relations or relation.startswith("NV_"):
+                        raise InferenceError(
+                            f"facts must target base relations, not the translated "
+                            f"{relation!r}"
+                        )
+                    if live.is_probabilistic(relation):
+                        for entry in facts[relation]:
+                            row, weight = self._fact_pair(relation, entry)
+                            if scratch.has_tuple(relation, row):
+                                raise InferenceError(
+                                    f"cannot append: tuple {relation}{row} already exists; "
+                                    "weights of existing tuples cannot change through appends"
+                                )
+                            variable = scratch.add_probabilistic_tuple(relation, row, weight)
+                            new_tuples.append((relation, row, weight, variable))
+                    else:
+                        fresh = []
+                        for entry in facts[relation]:
+                            row = self._fact_row(relation, entry)
+                            if scratch.database.insert(relation, row):
+                                fresh.append(row)
+                        if fresh:
+                            deterministic_facts[relation] = fresh
+            for view in new_views:
+                nv_name = view.nv_relation
+                if nv_name in scratch.database:
+                    raise SchemaError(
+                        f"cannot create relation {nv_name!r} for MarkoView "
+                        f"{view.name!r}: name in use"
+                    )
+                attributes = [variable.name for variable in view.query.head]
+                scratch.add_probabilistic_table(nv_name, attributes)
+                new_tables.append(
+                    {"name": nv_name, "attributes": attributes, "probabilistic": True}
+                )
+            w_disjuncts: list[ConjunctiveQuery] = []
+            for view in all_views:
+                nv_name = view.nv_relation
+                result = evaluate_ucq(view.query, scratch.database, scratch)
+                for row, __ in sorted(
+                    result.lineages().items(), key=lambda item: repr(item[0])
+                ):
+                    weight = view.weight_of(row)
+                    if weight == 1.0:
+                        # Weight 1 asserts independence: no correlation to encode.
+                        continue
+                    translated = markoview_weight_to_indb_weight(weight)
+                    if scratch.has_tuple(nv_name, row):
+                        if scratch.weight(nv_name, row) != translated:
+                            raise InferenceError(
+                                f"cannot extend: view {view.name!r} changed the weight "
+                                f"of existing output {row}; views may only be added"
+                            )
+                        continue
+                    variable = scratch.add_probabilistic_tuple(nv_name, row, translated)
+                    new_tuples.append((nv_name, row, translated, variable))
+                w_disjuncts.extend(_w_disjuncts_for_view(view))
+            if w_disjuncts:
+                new_w_lineage = scratch.lineage_of(UCQ(w_disjuncts, name="W"))
+            else:
+                new_w_lineage = DNF.false()
+        finally:
+            scratch.database.close()
+        return self._diff_and_compile(
+            new_w_lineage,
+            new_tables,
+            deterministic_facts,
+            new_tuples,
+            kind=kind,
+            new_views=list(new_views),
+            mvdb=None,
+            new_view_names=[view.name for view in new_views],
+        )
+
+    def _prepare_extend_translated(self, mvdb: MVDB) -> PendingExtend:
+        """Prepare an extend for an artifact-restored engine (no source MVDB).
+
+        Without view objects the engine cannot re-materialise views over its
+        own data, so the spec MVDB must carry the *identical* base data: a
+        full Theorem 1 translation is performed and every previously indexed
+        tuple is checked to keep its variable id and weight.  Applying the
+        delta also installs the spec MVDB, restoring view bookkeeping (and
+        with it the ability to append facts).
+        """
         translation = translate(mvdb)
         new_indb = translation.indb
-        new_tuples = {
+        translated = {
             (relation, row): (weight, variable)
             for relation, row, weight, variable in new_indb.probabilistic_tuples()
         }
         for relation, row, weight, variable in self.indb.probabilistic_tuples():
-            extended = new_tuples.get((relation, row))
+            extended = translated.get((relation, row))
             if extended != (weight, variable):
                 raise InferenceError(
                     f"cannot extend: tuple {relation}{row} is "
                     f"{extended} in the extended MVDB but was ({weight}, {variable}); "
                     "extension requires the same base data with extra views"
                 )
-
+        live_count = self.indb.tuple_count()
+        new_tables = [
+            {
+                "name": table.name,
+                "attributes": list(table.schema.attribute_names),
+                "probabilistic": new_indb.is_probabilistic(table.name),
+            }
+            for table in new_indb.database
+            if table.name not in self.indb.database
+        ]
+        deterministic_facts: dict[str, list[tuple]] = {}
+        for table in new_indb.database:
+            if new_indb.is_probabilistic(table.name):
+                continue
+            if table.name in self.indb.database:
+                fresh = [
+                    row
+                    for row in table.rows()
+                    if not self.indb.database.contains_row(table.name, row)
+                ]
+            else:
+                fresh = list(table.rows())
+            if fresh:
+                deterministic_facts[table.name] = fresh
+        new_tuples = [
+            (relation, row, weight, variable)
+            for relation, row, weight, variable in new_indb.probabilistic_tuples()
+            if variable >= live_count
+        ]
         if translation.has_views:
             new_w_lineage = new_indb.lineage_of(translation.w_query)
         else:
             new_w_lineage = DNF.false()
+        return self._diff_and_compile(
+            new_w_lineage,
+            new_tables,
+            deterministic_facts,
+            new_tuples,
+            kind="extend",
+            new_views=None,
+            mvdb=mvdb,
+            new_view_names=[
+                view.name
+                for view in mvdb.views
+                if view.nv_relation not in self.indb.database
+            ],
+        )
+
+    def _diff_and_compile(
+        self,
+        new_w_lineage: DNF,
+        new_tables: list[dict[str, Any]],
+        deterministic_facts: dict[str, list[tuple]],
+        new_tuples: list[tuple[str, tuple, float, int]],
+        kind: str,
+        new_views: "list[MarkoView] | None",
+        mvdb: MVDB | None,
+        new_view_names: list[str],
+    ) -> PendingExtend:
+        """Diff the ``W`` lineage and compile the delta components (off-lock)."""
         # An indexed clause may legitimately vanish from the extended lineage
         # when a new view's clause subsumes it (DNF absorption); only clauses
         # that disappeared *without* a subsuming replacement indicate that a
@@ -168,28 +506,81 @@ class MVQueryEngine:
                 "(views may only be added, not removed or changed)"
             )
         new_clauses = new_w_lineage.clauses - self.w_lineage.clauses
-        new_probabilities = new_indb.probabilities()
-
-        added: list[int] = []
+        removed_clauses = self.w_lineage.clauses - new_w_lineage.clauses
+        new_probabilities = {
+            variable: weight_to_probability(weight)
+            for __, __, weight, variable in new_tuples
+        }
+        order_append = [
+            variable
+            for __, __, weight, variable in new_tuples
+            if weight != CERTAIN_WEIGHT and variable not in self.order
+        ]
+        index_delta = None
         if self.mv_index is not None and new_clauses:
-            added = self.mv_index.extend(
+            index_delta = self.mv_index.prepare_extend(
                 DNF(new_clauses),
+                order_append=order_append,
                 probabilities=new_probabilities,
                 existing_lineage=self.w_lineage,
             )
-            self.order = self.mv_index.order
-        elif new_clauses:
-            unseen = {v for clause in new_clauses for v in clause if v not in self.order}
-            self.order = self.order.extend(sorted(unseen))
+        return PendingExtend(
+            kind=kind,
+            base_epoch=self.mutation_epoch,
+            new_tables=new_tables,
+            deterministic_facts=deterministic_facts,
+            new_tuples=new_tuples,
+            added_clauses=sorted((sorted(clause) for clause in new_clauses)),
+            removed_clauses=sorted((sorted(clause) for clause in removed_clauses)),
+            order_append=order_append,
+            new_probabilities=new_probabilities,
+            index_delta=index_delta,
+            new_views=new_views,
+            mvdb=mvdb,
+            new_view_names=new_view_names,
+        )
 
-        self.mvdb = mvdb
-        self.translation = translation
-        self.indb = new_indb
-        self.probabilities = new_probabilities
-        self.w_lineage = new_w_lineage
-        self._p0_w = None
-        self._nonstandard = None
-        return added
+    def _mirror_facts(self, pending: PendingExtend) -> None:
+        """Keep the source MVDB truthful after an append (oracle bookkeeping)."""
+        mvdb = self.mvdb
+        assert mvdb is not None
+        for relation, rows in pending.deterministic_facts.items():
+            if relation in mvdb.database:
+                for row in rows:
+                    mvdb.database.insert(relation, row)
+        for relation, row, weight, __ in pending.new_tuples:
+            if relation in mvdb.database and mvdb.base.is_probabilistic(relation):
+                mvdb.base.add_probabilistic_tuple(relation, row, weight)
+
+    @staticmethod
+    def _fact_row(relation: str, entry: Any) -> tuple:
+        if isinstance(entry, (str, bytes)) or not isinstance(entry, Sequence):
+            raise SchemaError(
+                f"facts for deterministic relation {relation!r} must be rows (sequences)"
+            )
+        return tuple(entry)
+
+    @staticmethod
+    def _fact_pair(relation: str, entry: Any) -> tuple[tuple, float]:
+        malformed = (
+            isinstance(entry, (str, bytes))
+            or not isinstance(entry, Sequence)
+            or len(entry) != 2
+            or isinstance(entry[0], (str, bytes))
+            or not isinstance(entry[0], Sequence)
+        )
+        if malformed:
+            raise SchemaError(
+                f"facts for probabilistic relation {relation!r} must be "
+                "(row, weight) pairs"
+            )
+        row, weight = entry
+        weight = float(weight)
+        if math.isnan(weight) or weight < 0:
+            raise WeightError(
+                f"appended tuple {relation}{tuple(row)} must have a non-negative weight"
+            )
+        return tuple(row), weight
 
     # ----------------------------------------------------------- W statistics
     @property

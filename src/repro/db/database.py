@@ -136,6 +136,19 @@ class Database:
         """Insert a row into an existing relation."""
         return self.table(relation).insert(row)
 
+    def append_facts(self, facts: "dict[str, Iterable[Sequence[Any]]] | Any") -> int:
+        """Batch-insert rows into existing relations; returns the new-row count.
+
+        Each relation's rows go through the table's ``insert_many`` — one
+        transaction per relation on the sqlite backend — which is what makes
+        streaming fact ingest cheap on disk-backed instances.  Duplicate
+        rows are skipped (set semantics), like :meth:`insert`.
+        """
+        added = 0
+        for relation, rows in facts.items():
+            added += self.table(relation).insert_many(rows)
+        return added
+
     def rows(self, relation: str) -> list[Row]:
         """All rows of a relation."""
         return self.table(relation).rows()

@@ -118,6 +118,15 @@ class TupleIndependentDatabase:
         """The ``(relation, row)`` pair of a tuple variable."""
         return self._tuple_of[variable]
 
+    def has_tuple(self, relation: str, row: Sequence[Any]) -> bool:
+        """True if ``(relation, row)`` is a registered possible tuple.
+
+        Unlike :meth:`variable_for` this includes *certain* tuples (weight
+        ``+∞``), making it the right containment check for mutation paths
+        that must not re-register an existing tuple.
+        """
+        return (relation, tuple(row)) in self._var_of
+
     def weight(self, relation: str, row: Sequence[Any]) -> float:
         """Weight (odds) of a possible tuple."""
         return self._weights[(relation, tuple(row))]

@@ -22,9 +22,15 @@ manager via :meth:`repro.obdd.manager.ObddManager.import_into`.  Since the
 serialized artifact re-exports canonically from the component roots, a
 parallel build produces a byte-identical artifact to the serial one.
 
-An existing index can also grow incrementally: :meth:`MVIndex.extend`
-compiles only the clauses of newly attached views into the shared manager,
-re-using every untouched component (see
+An existing index can also grow incrementally, and the growth is split
+into two halves so serving reads never wait on a compile:
+:meth:`MVIndex.prepare_extend` compiles the new clauses (plus any affected
+components) in a *fresh* manager against a snapshot of the index — safe to
+run concurrently with queries — and returns a sealed node-block delta;
+:meth:`MVIndex.apply_prepared` then imports that block into the shared
+manager and swaps the lookup maps, an O(delta) operation that is the only
+part a serving write lock needs to cover.  :meth:`MVIndex.extend` is the
+single-writer convenience wrapper over the two (see
 :meth:`repro.core.engine.MVQueryEngine.extend_views` for the engine-level
 workflow).
 """
@@ -214,9 +220,11 @@ class MVIndex:
         the artifact is not guaranteed byte-identical to a rebuild: appended
         variables and recompiled components change level and key layout.
 
-        Every mutation happens under the index lock, but in-flight queries
-        that already read the component maps are not serialized against it —
-        quiesce serving traffic before extending.
+        This is the single-writer convenience path:
+        :meth:`prepare_extend` (slow, snapshot-safe) immediately followed by
+        :meth:`apply_prepared` (O(delta), under the index lock).  Serving
+        callers run the two halves separately so queries keep flowing while
+        the delta compiles — no quiescing required.
         """
         if new_lineage.is_true:
             raise CompilationError(
@@ -224,32 +232,65 @@ class MVIndex:
             )
         if new_lineage.is_false or not new_lineage.clauses:
             return []
-        with self._lock:
-            if probabilities:
-                for variable, probability in probabilities.items():
-                    known = self.probabilities.get(variable)
-                    if known is not None and known != probability:
-                        raise CompilationError(
-                            f"cannot change the probability of indexed variable "
-                            f"{variable}; rebuild the index instead"
-                        )
-                self.probabilities.update(probabilities)
+        new_variables: set[int] = set()
+        for clause in new_lineage.clauses:
+            new_variables |= clause
+        unseen = sorted(v for v in new_variables if v not in self.order)
+        supplied = dict(probabilities or {})
+        delta = self.prepare_extend(
+            new_lineage,
+            order_append=unseen,
+            probabilities=supplied,
+            existing_lineage=existing_lineage,
+        )
+        return self.apply_prepared(unseen, supplied, delta)
 
+    def prepare_extend(
+        self,
+        new_lineage: DNF,
+        order_append: Sequence[int],
+        probabilities: Mapping[int, float],
+        existing_lineage: DNF | None = None,
+    ) -> dict[str, Any]:
+        """Compile the extension delta against a snapshot, off the index lock.
+
+        Validates the extension (probability conflicts, missing
+        probabilities for appended variables, ``W`` certainly true), then
+        compiles the new clauses — together with every existing component a
+        new clause connects to — in a **fresh** manager over the appended
+        variable order.  Nothing queries read is mutated; the slow compile
+        may therefore run concurrently with serving reads, provided
+        *mutations* are serialized externally (the dispatcher's write mutex).
+
+        Returns the sealed delta consumed by :meth:`apply_prepared`:
+        ``{"removed_keys", "nodes", "roots", "component_variables"}`` with
+        the node block in stable children-first export form — the same
+        artifact shape replicas import, which is what makes the fleet's
+        compile-once-ship-artifact broadcast byte-identical.
+        """
+        if new_lineage.is_true:
+            raise CompilationError(
+                "the extended view query W is certainly true (P0(¬W) = 0)"
+            )
+        for variable, probability in probabilities.items():
+            known = self.probabilities.get(variable)
+            if known is not None and known != probability:
+                raise CompilationError(
+                    f"cannot change the probability of indexed variable "
+                    f"{variable}; rebuild the index instead"
+                )
+        missing = [
+            v for v in order_append if v not in self.probabilities and v not in probabilities
+        ]
+        if missing:
+            raise CompilationError(
+                f"no probabilities supplied for new variables {missing[:5]}"
+            )
+        with self._lock:
+            order_variables = self.order.variables()
             new_variables: set[int] = set()
             for clause in new_lineage.clauses:
                 new_variables |= clause
-            unseen = sorted(v for v in new_variables if v not in self.order)
-            if unseen:
-                missing = [v for v in unseen if v not in self.probabilities]
-                if missing:
-                    raise CompilationError(
-                        f"no probabilities supplied for new variables {missing[:5]}"
-                    )
-                self.order = self.order.extend(unseen)
-            self._probability_of_level = self.order.probabilities_by_level(
-                self.probabilities
-            )
-
             pool: list[Clause] = list(new_lineage.clauses)
             affected = {
                 self._component_of_variable[variable]
@@ -270,20 +311,74 @@ class MVIndex:
                     for clause in existing_lineage.clauses
                     if clause & affected_variables
                 )
-                for key in affected:
-                    component = self.components.pop(key)
-                    for variable in component.variables:
-                        del self._component_of_variable[variable]
+        seen = set(order_variables)
+        extended = VariableOrder(
+            order_variables + [v for v in order_append if v not in seen]
+        )
+        manager = ObddManager()
+        components = connected_components(pool)
+        roots = [
+            manager.negate(
+                build_component_root(manager, clauses, extended, self.construction)
+            )
+            for clauses in components
+        ]
+        exported = manager.export_nodes(roots)
+        return {
+            "removed_keys": sorted(affected),
+            "nodes": exported["nodes"],
+            "roots": exported["roots"],
+            "component_variables": [
+                sorted(frozenset().union(*clauses)) for clauses in components
+            ],
+        }
 
+    def apply_prepared(
+        self,
+        order_append: Sequence[int],
+        probabilities: Mapping[int, float],
+        delta: Mapping[str, Any] | None,
+    ) -> list[int]:
+        """Publish a :meth:`prepare_extend` delta: the O(delta) swap.
+
+        Appends the new variables to the order (existing levels are
+        untouched, so live component OBDDs stay valid), updates the shared
+        level-probability map **in place** (every registered
+        :class:`~repro.mvindex.augmented.AugmentedObdd` holds a reference to
+        it), drops the recompiled components, imports the pre-compiled node
+        block into the shared manager, and registers the new components
+        under deterministic keys.  ``delta`` may be ``None`` when a mutation
+        appended variables without touching ``W`` (a pure fact append) —
+        then only the order and probabilities grow.  Returns the keys of the
+        components added.
+        """
+        with self._lock:
+            for variable, probability in probabilities.items():
+                known = self.probabilities.get(variable)
+                if known is not None and known != probability:
+                    raise CompilationError(
+                        f"cannot change the probability of indexed variable "
+                        f"{variable}; rebuild the index instead"
+                    )
+            self.probabilities.update(probabilities)
+            unseen = [v for v in order_append if v not in self.order]
+            if unseen:
+                self.order = self.order.extend(unseen)
+                for variable in unseen:
+                    self._probability_of_level[self.order.level_of(variable)] = (
+                        self.probabilities[variable]
+                    )
+            if delta is None:
+                return []
+            for key in delta["removed_keys"]:
+                component = self.components.pop(key)
+                for variable in component.variables:
+                    del self._component_of_variable[variable]
+            roots = self.manager.import_into(delta["nodes"], delta["roots"])
             next_key = max(self.components, default=-1) + 1
             added: list[int] = []
-            for clauses in connected_components(pool):
-                root = build_component_root(
-                    self.manager, clauses, self.order, self.construction
-                )
-                self._register(
-                    next_key, frozenset().union(*clauses), self.manager.negate(root)
-                )
+            for variables, root in zip(delta["component_variables"], roots):
+                self._register(next_key, variables, root)
                 added.append(next_key)
                 next_key += 1
             return added
@@ -384,10 +479,26 @@ class MVIndex:
         return [self.components[key] for key in sorted(keys)]
 
     # ------------------------------------------------------------ probability
+    def _product_order(self) -> list[IndexedComponent]:
+        """Components in canonical product order: by smallest tuple variable.
+
+        Floating-point multiplication is not associative, so the order in
+        which the per-component factors are folded determines the result at
+        the ulp level.  Component *keys* are an artifact of build history —
+        an incremental extend assigns recompiled components fresh keys while
+        a from-scratch build numbers them by discovery — so folding in key
+        order lets the summation order drift between a fresh build and an
+        extended index.  The smallest contained variable is intrinsic to a
+        component (the partition into components is a pure function of the
+        clause set), so ordering by it makes every product fold identically
+        no matter how the index reached its current state.
+        """
+        return sorted(self.components.values(), key=lambda c: min(c.variables))
+
     def probability_not_w(self) -> float:
         """``P0(¬W)``: product of the per-component complements."""
         result = 1.0
-        for component in self.components.values():
+        for component in self._product_order():
             result *= component.probability_not_w
         return result
 
@@ -398,8 +509,8 @@ class MVIndex:
     def untouched_factor(self, touched_keys: set[int]) -> float:
         """Product of ``P0(¬W_k)`` over the components *not* touched by a query."""
         result = 1.0
-        for key, component in self.components.items():
-            if key not in touched_keys:
+        for component in self._product_order():
+            if component.key not in touched_keys:
                 result *= component.probability_not_w
         return result
 
@@ -413,8 +524,8 @@ class MVIndex:
         underflows to 0.0 once the index holds a few thousand components.
         """
         result = 1.0
-        for key, component in self.components.items():
-            if key in touched_keys:
+        for component in self._product_order():
+            if component.key in touched_keys:
                 result *= component.probability_not_w
         return result
 

@@ -3,10 +3,27 @@
 The OBDD kernel is deterministic: evaluating the same lineage twice yields
 bit-identical floats.  The one sanctioned source of drift is the
 *incremental* MV-index extension, which appends freshly compiled components
-to an existing index instead of rebuilding from scratch — the product over
-components is then associated in a different order, and floating-point
-multiplication is not associative.  The observed divergence is a single ulp
-(see ``tests/test_numerics.py``, which pins it).
+to an existing index instead of rebuilding from scratch.  The root cause is
+**summation/association order**: floating-point ``+`` and ``*`` are not
+associative, so any reduction whose operand order depends on build history
+(rather than on the data) can round differently.  Two places matter:
+
+* the **product over components** in ``probability_not_w`` and the
+  touched/untouched factor split — canonicalized since the non-blocking
+  write path landed by folding components in ascending minimum-variable
+  order (:meth:`~repro.mvindex.index.MVIndex._product_order`), which is
+  intrinsic to the clause partition and therefore identical between a
+  fresh build and any extend/append history;
+* the **intra-component OBDD evaluation**, where an extended index's
+  component was compiled in a *fresh* manager against a shorter variable
+  order prefix than the from-scratch build uses.  The weighted sums at
+  each node can therefore still round differently by a step — this is the
+  residual drift the constant below bounds.
+
+The observed divergence is a single ulp (see ``tests/test_numerics.py``,
+which pins the bound in both directions and asserts that the *prepared*
+extend path — snapshot-compile plus epoch swap — stays inside the same
+budget as the legacy blocking extend).
 
 Absolute tolerances such as the old ``1e-9`` are the wrong shape for this:
 for probabilities near 1.0 they allow ~4.5 million ulps of drift, while for
@@ -31,10 +48,12 @@ __all__ = [
 ]
 
 #: Maximum sanctioned divergence between an incrementally extended MV-index
-#: and a from-scratch build of the same view set.  The incremental compile
-#: reorders the component product, which costs at most one rounding step;
-#: one spare ulp of headroom covers a second reassociation (e.g. extending
-#: twice).  Anything beyond this is a correctness bug, not noise.
+#: and a from-scratch build of the same view set.  With the component
+#: product canonicalized (min-variable fold order), the remaining drift is
+#: the intra-component evaluation of delta-compiled OBDDs — at most one
+#: rounding step, with one spare ulp of headroom for stacked mutations
+#: (e.g. append-then-extend).  Anything beyond this is a correctness bug,
+#: not noise.
 INCREMENTAL_REBUILD_ULPS = 2
 
 #: Tolerance of the benchmark gate's probability-drift check.  The gate

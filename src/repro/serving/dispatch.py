@@ -20,14 +20,20 @@ bare :class:`~repro.serving.session.QuerySession` does not have:
   datalog parse on exact-text repeats (the hottest path under skewed
   traffic).  Tiers below it are the session's canonical result cache and
   lineage cache, giving three cache tiers with per-tier hit accounting;
-* a **single-writer lock and a generation counter** — ``extend()`` runs
-  under the writer side of a read/write lock while queries hold the reader
-  side, and every tier's invalidation goes through one path: bump the
-  generation, clear the string tier and the coalescing table, and
-  invalidate every session (which bumps the sessions' own generations).
+* a **non-blocking write path with epoch-swap publication** — mutations
+  (``extend``, ``append_facts``) are serialized by a single-writer mutex
+  and split in two: the expensive half (view evaluation, lineage diffing,
+  delta OBDD compilation) runs *off* the read/write lock against an
+  immutable snapshot of the engine, producing a sealed
+  :class:`~repro.core.pending.PendingExtend`; publication then takes the
+  writer side of the lock only for an O(delta) patch — splice the tuples
+  and lineage, import the pre-compiled node block, bump the generation,
+  clear the string tier and the coalescing table, and invalidate every
+  session.  Readers never wait on a compile, only on the pointer flip.
   Each request snapshots the generation before computing and re-checks it
-  before publishing to a cache, so an ``extend()`` racing a query can never
-  leave a stale probability behind;
+  before publishing to a cache, so a mutation racing a query can never
+  leave a stale probability behind — the generation guard is the
+  correctness substrate the epoch swap stands on;
 * a **metrics registry** — qps, latency percentiles, per-tier cache hit
   ratios, queue depth and rejection counts, exposed as a JSON document
   (``/v1/stats``) and as Prometheus-style text (``/metrics``).
@@ -48,6 +54,7 @@ from typing import Any, Iterator, Sequence
 
 from repro.core.engine import MVQueryEngine
 from repro.core.mvdb import MVDB
+from repro.core.pending import PendingExtend
 from repro.errors import AdmissionError, ServingError
 from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_query
@@ -452,6 +459,7 @@ class Dispatcher:
         self.metrics = MetricsRegistry()
         self.sessions = [QuerySession(engine, cache_size=cache_size) for _ in range(workers)]
         self._rwlock = _ReadWriteLock()
+        self._write_mutex = threading.Lock()
         self._state = threading.Lock()
         self._generation = 0
         self._pending = 0
@@ -707,17 +715,19 @@ class Dispatcher:
                 job.future.set_result(outcome)
 
     # -------------------------------------------------------------- mutation
-    def extend(self, mvdb: MVDB) -> tuple[list[int], int]:
-        """Extend the engine's view set; the one shared invalidation path.
+    def _publish(self, pending: PendingExtend) -> tuple[list[int], int]:
+        """Apply a prepared delta and invalidate every tier — the epoch swap.
 
-        Runs under the writer side of the read/write lock (queries hold the
-        reader side), then — still exclusively — bumps the generation,
-        clears the string tier and the coalescing table, and invalidates
-        every worker session.  Returns ``(added component keys, new
-        generation)``.
+        The writer side of the read/write lock is held only for the
+        O(delta) patch (:meth:`MVQueryEngine.apply_pending`) plus the
+        invalidation sweep: bump the generation, clear the string tier and
+        the coalescing table, and invalidate every worker session (which
+        bumps the sessions' own generations).  This is the *only* path that
+        mutates the engine, so every cache tier sees exactly one
+        invalidation ordering.
         """
         with self._rwlock.write_locked():
-            added = self.engine.extend_views(mvdb)
+            added = self.engine.apply_pending(pending)
             with self._state:
                 self._generation += 1
                 generation = self._generation
@@ -726,6 +736,62 @@ class Dispatcher:
             for session in self.sessions:
                 session.invalidate()
         return added, generation
+
+    def extend(self, mvdb: MVDB) -> tuple[list[int], int]:
+        """Extend the engine's view set without stalling readers.
+
+        The compile half (:meth:`MVQueryEngine.prepare_extend`) runs under
+        the single-writer mutex but *outside* the read/write lock — queries
+        keep flowing while the delta OBDD is built against a snapshot.
+        Publication then goes through :meth:`_publish`.  Returns ``(added
+        component keys, new generation)``.
+        """
+        with self._write_mutex:
+            pending = self.engine.prepare_extend(mvdb)
+            return self._publish(pending)
+
+    def extend_sealed(self, mvdb: MVDB) -> tuple[list[int], int, dict[str, Any]]:
+        """Like :meth:`extend`, but also returns the sealed delta artifact.
+
+        The artifact is captured *before* publication, so it describes
+        exactly the patch that was applied — the router ships it to
+        follower replicas, which import it via :meth:`apply_sealed` instead
+        of recompiling (compile once, N byte-identical replicas).
+        """
+        with self._write_mutex:
+            pending = self.engine.prepare_extend(mvdb)
+            sealed = pending.sealed()
+            added, generation = self._publish(pending)
+        return added, generation, sealed
+
+    def append_facts(self, facts: Any) -> tuple[int, int, dict[str, Any]]:
+        """Stream new base facts into the engine; readers never wait.
+
+        Same two-phase shape as :meth:`extend`: incremental lineage
+        patching and any delta compilation happen off the read/write lock,
+        then the O(delta) publish.  Returns ``(added tuple count, new
+        generation, sealed artifact)``.
+        """
+        with self._write_mutex:
+            pending = self.engine.prepare_append(facts)
+            sealed = pending.sealed()
+            count = pending.added_tuple_count
+            _, generation = self._publish(pending)
+        return count, generation, sealed
+
+    def apply_sealed(
+        self, sealed: dict[str, Any], mvdb: MVDB | None = None
+    ) -> tuple[list[int], int]:
+        """Import a leader-compiled sealed delta (the follower write path).
+
+        ``mvdb`` is the follower's freshly built spec MVDB (extends only —
+        the sealed form carries view *names*, resolved against it).  A
+        stale ``base_epoch`` raises :class:`~repro.errors.ServingError`;
+        the router reacts by force-restarting the diverged follower.
+        """
+        with self._write_mutex:
+            pending = PendingExtend.from_sealed(sealed, mvdb=mvdb)
+            return self._publish(pending)
 
     # ------------------------------------------------------------ inspection
     def cache_stats(self) -> dict[str, Any]:

@@ -21,14 +21,18 @@ Responsibilities:
   on a fixed interval, and the router can :meth:`note_failure` a replica to
   trigger an immediate re-probe; a replica whose process died, or that fails
   two consecutive probes, is killed and restarted with a fresh fork;
-* **extend replay** — every accepted ``/v1/extend`` spec is appended to a
-  replay log (:meth:`record_extend`).  A restarted replica forks from the
-  parent's *original* engine and replays the log before serving, and because
-  :meth:`~repro.core.engine.MVQueryEngine.extend_views` is a deterministic
-  diff against the indexed lineage, the restarted replica converges to the
-  same state (and generation) as its peers.  The monitor restarts any
-  replica whose applied log length falls behind — a replica can never serve
-  a stale view set for longer than one health interval.
+* **mutation replay** — every accepted mutation (``/v1/extend``,
+  ``/v1/append``) is appended to a replay log (:meth:`record_extend`) as
+  ``{"kind", "spec"/"facts", "artifact"}``, where ``artifact`` is the
+  leader-compiled sealed delta.  A restarted replica forks from the
+  parent's *original* engine and replays the log before serving by
+  **importing** each sealed artifact
+  (:meth:`~repro.serving.dispatch.Dispatcher.apply_sealed`) — no
+  recompilation, and the restarted replica is byte-identical to its peers
+  (legacy raw-spec entries without an artifact are still replayed through
+  the extender).  The monitor restarts any replica whose applied log
+  length falls behind — a replica can never serve a stale view set for
+  longer than one health interval.
 
 The fleet requires the ``fork`` start method (POSIX); on platforms without
 it, construction raises :class:`~repro.errors.ServingError` — use a single
@@ -64,6 +68,38 @@ _PROBE_TIMEOUT = 2.0
 _SUSPECT_THRESHOLD = 2
 
 
+def replay_entry(
+    dispatcher: Any,
+    extender: Callable[[dict[str, Any]], MVDB] | None,
+    entry: dict[str, Any],
+) -> None:
+    """Replay one mutation-log entry into a dispatcher.
+
+    New-form entries carry the leader's sealed compiled delta and are
+    imported as-is (byte-identical replicas, no recompile); an ``extend``
+    artifact that attaches views additionally needs the extender to
+    rebuild the spec MVDB the view names resolve against.  Legacy entries
+    (raw extend specs, pre-artifact logs) fall back to a full
+    extend-and-recompile through the extender.
+    """
+    artifact = entry.get("artifact")
+    if artifact is None:
+        if extender is None:
+            raise ServingError(
+                "mutation log holds a raw extend spec but no extender was configured"
+            )
+        dispatcher.extend(extender(dict(entry)))
+        return
+    mvdb = None
+    if artifact.get("kind") == "extend" and artifact.get("new_view_names"):
+        if extender is None:
+            raise ServingError(
+                "mutation log holds an extend artifact but no extender was configured"
+            )
+        mvdb = extender(dict(entry["spec"]))
+    dispatcher.apply_sealed(artifact, mvdb=mvdb)
+
+
 def _replica_main(
     engine: MVQueryEngine,
     host: str,
@@ -74,10 +110,10 @@ def _replica_main(
 ) -> None:
     """Child-process entry point: serve the fork-inherited engine.
 
-    Replays the extend log *before* binding, reports the bound port through
-    ``ready_conn``, then parks until SIGTERM, which triggers a graceful
-    drain.  Exits via ``os._exit`` so the inherited parent state (router
-    sockets, monitor thread bookkeeping) is never torn down twice.
+    Replays the mutation log *before* binding, reports the bound port
+    through ``ready_conn``, then parks until SIGTERM, which triggers a
+    graceful drain.  Exits via ``os._exit`` so the inherited parent state
+    (router sockets, monitor thread bookkeeping) is never torn down twice.
     """
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda *_: stop.set())
@@ -91,10 +127,8 @@ def _replica_main(
     exit_code = 0
     try:
         server = ProbServer(engine, host=host, port=0, extender=extender, **server_kwargs)
-        if extend_specs and extender is None:
-            raise ServingError("extend log is non-empty but no extender was configured")
-        for spec in extend_specs:
-            server.dispatcher.extend(extender(spec))  # type: ignore[misc]
+        for entry in extend_specs:
+            replay_entry(server.dispatcher, extender, entry)
         server.start()
         ready_conn.send(server.port)
         ready_conn.close()
@@ -287,7 +321,11 @@ class ReplicaFleet:
 
     # ------------------------------------------------------------ extend log
     def record_extend(self, spec: dict[str, Any]) -> int:
-        """Append one accepted extend spec to the replay log; returns its length."""
+        """Append one accepted mutation entry to the replay log; returns its length.
+
+        Entries are either new-form ``{"kind", "spec"/"facts", "artifact"}``
+        documents (see :func:`replay_entry`) or legacy raw extend specs.
+        """
         with self._lock:
             self._extend_log.append(json.loads(json.dumps(spec)))  # defensive copy
             return len(self._extend_log)

@@ -9,6 +9,11 @@ The generator drives a running :class:`~repro.serving.server.ProbServer`
 * **open loop** (:func:`run_open`) — requests arrive on a fixed schedule of
   ``rate`` per second regardless of completions, the way independent users
   arrive.  Measures latency under a target load, including queueing;
+* **ingest mode** (:func:`run_ingest`) — closed-loop query workers with a
+  concurrent open-loop *writer* streaming fact appends (``/v1/append``) on
+  a fixed schedule, optionally firing one view extend (``/v1/extend``)
+  mid-run.  Measures read latency while the write path is busy — the
+  non-blocking-write claim, as a number;
 
 both with a **zipf-skewed** choice of query entities (:class:`WorkloadMix`),
 so traffic is cache-realistic: a few hot queries dominate, with a long tail
@@ -16,9 +21,12 @@ of cold ones — exactly the regime the dispatcher's caching tiers and the
 per-worker session affinity are built for.
 
 Every worker keeps one persistent HTTP/1.1 connection (``http.client``),
-so the measured numbers are request costs, not TCP-handshake costs.  The
-outcome is a :class:`LoadReport`: counts by status class, throughput, and
-latency percentiles.  ``scripts/load_smoke.py`` and
+so the measured numbers are request costs, not TCP-handshake costs.  Every
+raw sample is tagged with its operation (``query`` / ``append`` /
+``extend``), and the resulting :class:`LoadReport` keeps separate latency
+histograms per operation (``op_latency_ms``) on top of the headline
+query-only ``latency_ms`` — a slow write can never hide inside (or
+inflate) the read percentiles.  ``scripts/load_smoke.py`` and
 ``scripts/bench_serving.py`` are thin wrappers over this module, as is the
 ``python -m repro loadtest`` CLI subcommand.
 """
@@ -134,6 +142,11 @@ class LoadReport:
     qps: float = 0.0
     latency_ms: dict[str, float] = field(default_factory=dict)
     statuses: dict[str, int] = field(default_factory=dict)
+    #: Requests by operation tag (``query`` / ``append`` / ``extend``).
+    ops: dict[str, int] = field(default_factory=dict)
+    #: Per-operation latency summaries over *successful* requests only —
+    #: ``latency_ms`` stays query-only, so writes never skew the read tail.
+    op_latency_ms: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def error_free(self) -> bool:
@@ -156,6 +169,8 @@ class LoadReport:
             "qps": self.qps,
             "latency_ms": self.latency_ms,
             "statuses": self.statuses,
+            "ops": self.ops,
+            "op_latency_ms": self.op_latency_ms,
             "error_free": self.error_free,
         }
 
@@ -174,6 +189,13 @@ class LoadReport:
             lines.append(
                 "  latency p50 {p50_ms:.2f}ms  p95 {p95_ms:.2f}ms  p99 {p99_ms:.2f}ms  "
                 "max {max_ms:.2f}ms".format(**self.latency_ms)
+            )
+        for op, summary in sorted(self.op_latency_ms.items()):
+            if op == "query" or not summary.get("count"):
+                continue
+            lines.append(
+                f"  {op} x{int(summary['count'])}  p50 {summary['p50_ms']:.2f}ms  "
+                f"p99 {summary['p99_ms']:.2f}ms  max {summary['max_ms']:.2f}ms"
             )
         return "\n".join(lines)
 
@@ -235,20 +257,45 @@ class _Connection:
             return response.status, answers
         return 0, 0  # pragma: no cover - unreachable
 
+    def post_json(self, path: str, payload: dict[str, Any]) -> int:
+        """POST one JSON document; returns the status (0 on transport failure).
+
+        The write-path sibling of :meth:`post_query` (``/v1/append`` and
+        ``/v1/extend`` during ingest runs); the response body is drained
+        but not parsed.
+        """
+        body = json.dumps(payload)
+        for attempt in (0, 1):
+            try:
+                connection = self._connect()
+                connection.request(
+                    "POST", path, body=body, headers={"Content-Type": "application/json"}
+                )
+                response = connection.getresponse()
+                response.read()
+            except (OSError, http.client.HTTPException):
+                self.close()
+                if attempt:
+                    return 0
+                continue
+            return response.status
+        return 0  # pragma: no cover - unreachable
+
 
 def _summarize(
     mode: str,
     duration_s: float,
     concurrency: int,
     target_rate: float | None,
-    samples: list[tuple[int, float, int]],
+    samples: list[tuple[str, int, float, int]],
 ) -> LoadReport:
     report = LoadReport(
         mode=mode, duration_s=duration_s, concurrency=concurrency, target_rate=target_rate
     )
-    latencies: list[float] = []
-    for status, latency_s, answers in samples:
+    latencies_by_op: dict[str, list[float]] = {}
+    for op, status, latency_s, answers in samples:
         report.requests += 1
+        report.ops[op] = report.ops.get(op, 0) + 1
         report.statuses[str(status)] = report.statuses.get(str(status), 0) + 1
         if status == 0:
             report.transport_errors += 1
@@ -257,13 +304,15 @@ def _summarize(
         elif 200 <= status < 300:
             report.ok += 1
             report.answers += answers
-            latencies.append(latency_s)
+            latencies_by_op.setdefault(op, []).append(latency_s)
         elif 400 <= status < 500:
             report.client_errors += 1
         else:
             report.server_errors += 1
-    latencies.sort()
-    report.latency_ms = latency_summary(latencies)
+    for op, latencies in latencies_by_op.items():
+        latencies.sort()
+        report.op_latency_ms[op] = latency_summary(latencies)
+    report.latency_ms = report.op_latency_ms.get("query", latency_summary([]))
     report.qps = report.ok / duration_s if duration_s > 0 else 0.0
     return report
 
@@ -276,23 +325,23 @@ def _closed_samples(
     method: str,
     seed: int,
     timeout: float,
-) -> list[tuple[int, float, int]]:
+) -> list[tuple[str, int, float, int]]:
     """The closed-loop worker pool of one process; returns raw samples."""
     deadline = time.monotonic() + duration_s
-    all_samples: list[tuple[int, float, int]] = []
+    all_samples: list[tuple[str, int, float, int]] = []
     merge_lock = threading.Lock()
 
     def worker(index: int) -> None:
         rng = random.Random(seed * 7919 + index)
         sample_query = mix.sampler(rng)
         connection = _Connection(url, timeout)
-        samples: list[tuple[int, float, int]] = []
+        samples: list[tuple[str, int, float, int]] = []
         try:
             while time.monotonic() < deadline:
                 query = sample_query()
                 start = time.monotonic()
                 status, answers = connection.post_query(query, method)
-                samples.append((status, time.monotonic() - start, answers))
+                samples.append(("query", status, time.monotonic() - start, answers))
         finally:
             connection.close()
             with merge_lock:
@@ -361,7 +410,7 @@ def run_closed(
         child_conn.close()
         pipes.append(parent_conn)
         children.append(process)
-    all_samples: list[tuple[int, float, int]] = []
+    all_samples: list[tuple[str, int, float, int]] = []
     for parent_conn, process in zip(pipes, children):
         try:
             # Receive BEFORE join: a child blocked on a full pipe buffer
@@ -399,7 +448,7 @@ def run_open(
     rng = random.Random(seed * 104729 + 1)
     sample_query = mix.sampler(rng)
     local = threading.local()
-    all_samples: list[tuple[int, float, int]] = []
+    all_samples: list[tuple[str, int, float, int]] = []
     merge_lock = threading.Lock()
     slots = threading.Semaphore(max_outstanding)
 
@@ -418,7 +467,7 @@ def run_open(
             # slip (the server falling behind) shows up as latency.
             latency = time.monotonic() - scheduled
             with merge_lock:
-                all_samples.append((status, latency, answers))
+                all_samples.append(("query", status, latency, answers))
             slots.release()
 
     from concurrent.futures import ThreadPoolExecutor
@@ -439,6 +488,98 @@ def run_open(
             pool.submit(fire, sample_query(), scheduled)
     elapsed = time.monotonic() - start
     return _summarize("open", elapsed, max_outstanding, rate, all_samples)
+
+
+def dblp_ingest_facts(
+    batch_index: int, batch_size: int = 4, base_id: int = 900000
+) -> dict[str, list]:
+    """A ``/v1/append`` payload of fresh synthetic DBLP facts.
+
+    Batches are disjoint (author ids start at ``base_id`` and advance by
+    ``batch_size`` per batch), so every append adds genuinely new tuples —
+    a deterministic Author row plus a probabilistic Student row per id.
+    The new ids join none of the workload queries' entities, which keeps
+    the read answers stable while the write path stays genuinely busy.
+    """
+    start = base_id + batch_index * batch_size
+    return {
+        "Author": [[start + i, f"Ingest Author {start + i}"] for i in range(batch_size)],
+        "Student": [[[start + i, 2020], 1.5] for i in range(batch_size)],
+    }
+
+
+def run_ingest(
+    url: str,
+    duration_s: float = 15.0,
+    concurrency: int = 4,
+    mix: WorkloadMix | None = None,
+    method: str = "mvindex",
+    seed: int = 0,
+    timeout: float = 30.0,
+    append_interval_s: float = 1.0,
+    append_batch: int = 4,
+    facts_factory: Any = None,
+    extend_spec: dict[str, Any] | None = None,
+    extend_at_s: float | None = None,
+) -> LoadReport:
+    """Mixed read/write load: closed-loop queries plus an open-loop writer.
+
+    ``concurrency`` query workers hammer ``/v1/query`` back-to-back for the
+    whole run while one writer thread streams a fact append
+    (``facts_factory(batch_index)``, default :func:`dblp_ingest_facts`)
+    every ``append_interval_s`` seconds and — when ``extend_spec`` is given
+    — fires exactly one ``/v1/extend`` at ``extend_at_s`` (default:
+    mid-run).  Writer operations arrive on their schedule regardless of
+    how long they take (open loop), so a blocking write path shows up as
+    read-latency spikes in the query histogram, tagged separately from the
+    ``append`` / ``extend`` entries in ``op_latency_ms``.
+    """
+    mix = mix or WorkloadMix()
+    _Connection(url, timeout).close()  # fail fast on a bad URL
+    mix.population()
+    if append_interval_s <= 0:
+        raise ServingError(f"append_interval_s must be positive, got {append_interval_s}")
+    if facts_factory is None:
+        def facts_factory(batch_index: int) -> dict[str, list]:
+            return dblp_ingest_facts(batch_index, batch_size=append_batch)
+    extend_at = duration_s / 2.0 if extend_at_s is None else extend_at_s
+
+    start = time.monotonic()
+    deadline = start + duration_s
+    writer_samples: list[tuple[str, int, float, int]] = []
+
+    def writer() -> None:
+        connection = _Connection(url, timeout)
+        batch_index = 0
+        extended = extend_spec is None
+        try:
+            while True:
+                scheduled = start + batch_index * append_interval_s
+                now = time.monotonic()
+                if scheduled >= deadline:
+                    return
+                if scheduled > now:
+                    time.sleep(scheduled - now)
+                if not extended and time.monotonic() - start >= extend_at:
+                    fired = time.monotonic()
+                    status = connection.post_json("/v1/extend", dict(extend_spec))
+                    writer_samples.append(("extend", status, time.monotonic() - fired, 0))
+                    extended = True
+                fired = time.monotonic()
+                status = connection.post_json(
+                    "/v1/append", {"facts": facts_factory(batch_index)}
+                )
+                writer_samples.append(("append", status, time.monotonic() - fired, 0))
+                batch_index += 1
+        finally:
+            connection.close()
+
+    writer_thread = threading.Thread(target=writer, daemon=True)
+    writer_thread.start()
+    samples = _closed_samples(url, duration_s, concurrency, mix, method, seed, timeout)
+    writer_thread.join(timeout=timeout)
+    elapsed = time.monotonic() - start
+    return _summarize("ingest", elapsed, concurrency, None, samples + writer_samples)
 
 
 def fetch_stats(url: str, timeout: float = 10.0) -> dict[str, Any]:

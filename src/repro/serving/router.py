@@ -23,14 +23,20 @@ relayed as-is — a full admission queue is backpressure, not a routing
 failure.  Every transport failure is reported to the fleet's health
 monitor, which restarts replicas that stay unresponsive.
 
-**Extends.**  ``POST /v1/extend`` is serialized by a router-level lock and
-broadcast: the first alive replica validates the spec (a rejected spec is
-relayed verbatim and touches nothing else), the spec is appended to the
-fleet's replay log, then every other alive replica applies it.  A replica
-that fails mid-broadcast is force-restarted and converges by replaying the
+**Mutations.**  ``POST /v1/extend`` and ``POST /v1/append`` are serialized
+by a router-level lock and broadcast *compile-once-ship-artifact*: the
+first alive replica (the leader) validates and applies the mutation with
+``"ship_artifact": true``, returning the sealed compiled delta (a rejected
+body is relayed verbatim and touches nothing else).  The artifact is
+appended to the fleet's replay log, then every other alive replica
+*imports* it through ``POST /v1/import`` — no recompilation, so all
+replicas hold byte-identical state.  A replica that fails or rejects the
+import (stale epoch) is force-restarted and converges by replaying the
 log; the generation counter inside each replica advances in lock-step, and
 the cluster ``/v1/stats`` exposes both ``generation`` (the floor every
-replica reached) and ``generation_max`` (the frontier).
+replica reached) and ``generation_max`` (the frontier).  The artifact is
+stripped from the response the client sees; ``/v1/import`` itself is
+replica-internal and answers 404 at the router.
 
 **Roll-up.**  ``GET /v1/stats`` and ``/metrics`` fan out to all alive
 replicas and merge their documents with
@@ -76,7 +82,7 @@ _POOL_SIZE = 16
 DEFAULT_UPSTREAM_TIMEOUT = 120.0
 
 _GET_PATHS = ("/healthz", "/v1/stats", "/metrics")
-_POST_PATHS = ("/v1/query", "/v1/query_batch", "/v1/extend")
+_POST_PATHS = ("/v1/query", "/v1/query_batch", "/v1/extend", "/v1/append")
 
 
 class HashRing:
@@ -427,8 +433,8 @@ class Router:
                     keep_alive=keep_alive,
                 )
         elif method == "POST":
-            if path == "/v1/extend":
-                self._handle_extend(wfile, body, keep_alive)
+            if path in ("/v1/extend", "/v1/append"):
+                self._handle_mutation(wfile, path, body, keep_alive)
             elif path in ("/v1/query", "/v1/query_batch"):
                 self._handle_routed(wfile, path, body, keep_alive)
             elif path in _GET_PATHS:
@@ -623,9 +629,16 @@ class Router:
             self._checkin(slot, upstream)
         return status, content_type, response, retry_after
 
-    # ---------------------------------------------------------------- extend
-    def _handle_extend(self, wfile: Any, body: bytes, keep_alive: bool) -> None:
-        """Validate on one replica, record for replay, broadcast to the rest."""
+    # ------------------------------------------------------------- mutations
+    def _handle_mutation(self, wfile: Any, path: str, body: bytes, keep_alive: bool) -> None:
+        """Compile once on the leader, record the sealed delta, ship to the rest.
+
+        The leader request carries ``"ship_artifact": true`` so its response
+        includes the sealed compiled delta; followers then import that
+        artifact over ``/v1/import`` instead of recompiling, which is what
+        keeps every replica byte-identical.  The artifact never reaches the
+        client — the relayed response is re-serialized without it.
+        """
         try:
             spec = json.loads(body)
             if not isinstance(spec, dict):
@@ -637,6 +650,9 @@ class Router:
                 keep_alive=keep_alive,
             )
             return
+        leader_body = json.dumps(
+            {**spec, "ship_artifact": True}, sort_keys=True
+        ).encode("utf-8")
         with self._extend_lock:
             leader_response = None
             leader_slot = None
@@ -644,7 +660,7 @@ class Router:
             for slot in self.fleet.alive_slots():
                 if leader_response is None:
                     try:
-                        leader_response = self._forward(slot, "POST", "/v1/extend", body)
+                        leader_response = self._forward(slot, "POST", path, leader_body)
                         leader_slot = slot
                     except _UpstreamError:
                         self._note_upstream_error(slot)
@@ -659,7 +675,7 @@ class Router:
                 return
             status, content_type, response, retry_after = leader_response
             if status != 200:
-                # The spec was rejected (or the leader is overloaded): relay
+                # The body was rejected (or the leader is overloaded): relay
                 # verbatim; nothing was recorded, no replica diverged.
                 extra = [("Retry-After", retry_after)] if retry_after else []
                 self._respond(
@@ -667,13 +683,33 @@ class Router:
                     keep_alive=keep_alive, extra_headers=extra,
                 )
                 return
-            log_len = self.fleet.record_extend(spec)
+            document = json.loads(response)
+            artifact = document.pop("artifact", None)
+            response = json.dumps(document, sort_keys=True).encode("utf-8")
+            if artifact is not None:
+                entry: dict[str, Any] = {"artifact": artifact}
+                if path == "/v1/extend":
+                    entry.update(kind="extend", spec=spec)
+                    import_body = json.dumps(
+                        {"artifact": artifact, "spec": spec}, sort_keys=True
+                    ).encode("utf-8")
+                else:
+                    entry.update(kind="append", facts=spec.get("facts"))
+                    import_body = json.dumps(
+                        {"artifact": artifact}, sort_keys=True
+                    ).encode("utf-8")
+                follower_path, follower_body = "/v1/import", import_body
+            else:  # pragma: no cover - leader predating ship_artifact
+                entry, follower_path, follower_body = dict(spec), path, body
+            log_len = self.fleet.record_extend(entry)
             self.fleet.note_extend_applied(leader_slot, log_len)  # type: ignore[arg-type]
             for slot in remaining:
                 if self.fleet.applied_len(slot) >= log_len:
-                    continue  # a fresh fork already replayed this spec
+                    continue  # a fresh fork already replayed this mutation
                 try:
-                    follower_status, _, _, _ = self._forward(slot, "POST", "/v1/extend", body)
+                    follower_status, _, _, _ = self._forward(
+                        slot, "POST", follower_path, follower_body
+                    )
                 except _UpstreamError:
                     self._note_upstream_error(slot)
                     self.fleet.force_restart(slot)
@@ -681,8 +717,8 @@ class Router:
                 if follower_status == 200:
                     self.fleet.note_extend_applied(slot, log_len)
                 else:
-                    # Deterministic extends cannot legitimately disagree;
-                    # re-fork the replica and let the replay converge it.
+                    # A failed import means the replica's epoch diverged;
+                    # re-fork it and let the replay log converge it.
                     self.fleet.force_restart(slot)
             self._respond(wfile, 200, response, content_type=content_type,
                           keep_alive=keep_alive)

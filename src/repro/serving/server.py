@@ -11,6 +11,10 @@
                           ``{"generation": g, "results": [...]}``
 ``POST /v1/extend``       extension spec (see below) →
                           ``{"added_components": k, "generation": g}``
+``POST /v1/append``       ``{"facts": {relation: [...]}}`` →
+                          ``{"added_tuples": n, "generation": g}``
+``POST /v1/import``       ``{"kind": ..., "artifact": <sealed delta>}`` →
+                          ``{"added_components": k, "generation": g}``
 ``GET /v1/stats``         the dispatcher's full statistics document
 ``GET /healthz``          liveness: ``{"status": "ok", "generation": g, ...}``
 ``GET /metrics``          Prometheus-style exposition text
@@ -23,11 +27,16 @@ is the snake-case name of the library exception (``parse_error``,
 queue to **429** (with a ``Retry-After`` header), unknown paths to **404**,
 wrong verbs to **405**, and library bugs to **500**.
 
-``POST /v1/extend`` is serialized through the dispatcher's single-writer
-lock while reads keep flowing; how the request body becomes an
-:class:`~repro.core.mvdb.MVDB` is pluggable via the server's ``extender``
-callable (the CLI installs one that rebuilds the synthetic DBLP workload
-from ``{"groups": ..., "seed": ..., "views": [...]}``).
+Mutations (``/v1/extend``, ``/v1/append``) are serialized through the
+dispatcher's single-writer mutex; their expensive compile half runs off
+the serving lock, so reads keep flowing throughout.  How an extend body
+becomes an :class:`~repro.core.mvdb.MVDB` is pluggable via the server's
+``extender`` callable (the CLI installs one that rebuilds the synthetic
+DBLP workload from ``{"groups": ..., "seed": ..., "views": [...]}``).
+Both mutation endpoints accept ``"ship_artifact": true`` (set by the
+router, never by clients) to include the sealed compiled delta in the
+response; ``/v1/import`` is the matching follower-side endpoint that
+installs such an artifact without recompiling.
 """
 
 from __future__ import annotations
@@ -141,7 +150,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_stats()
             elif self.path == "/metrics":
                 self._handle_metrics()
-            elif self.path in ("/v1/query", "/v1/query_batch", "/v1/extend"):
+            elif self.path in (
+                "/v1/query",
+                "/v1/query_batch",
+                "/v1/extend",
+                "/v1/append",
+                "/v1/import",
+            ):
                 self._send_error_json(405, "method_not_allowed", f"POST required for {self.path}")
             else:
                 self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
@@ -164,6 +179,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_query_batch()
             elif self.path == "/v1/extend":
                 self._handle_extend()
+            elif self.path == "/v1/append":
+                self._handle_append()
+            elif self.path == "/v1/import":
+                self._handle_import()
             elif self.path in ("/healthz", "/v1/stats", "/metrics"):
                 self._send_error_json(405, "method_not_allowed", f"GET required for {self.path}")
             else:
@@ -260,8 +279,57 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         document = self._read_body()
+        ship_artifact = bool(document.pop("ship_artifact", False))
         mvdb = prob_server.extender(document)
-        added, generation = prob_server.dispatcher.extend(mvdb)
+        if ship_artifact:
+            added, generation, sealed = prob_server.dispatcher.extend_sealed(mvdb)
+            self._send_json(
+                200,
+                {
+                    "added_components": len(added),
+                    "generation": generation,
+                    "artifact": sealed,
+                },
+            )
+        else:
+            added, generation = prob_server.dispatcher.extend(mvdb)
+            self._send_json(200, {"added_components": len(added), "generation": generation})
+
+    def _handle_append(self) -> None:
+        document = self._read_body()
+        facts = document.get("facts")
+        if not isinstance(facts, dict) or not facts:
+            raise _BadRequest("'facts' must be a non-empty object of relation -> rows")
+        ship_artifact = bool(document.get("ship_artifact", False))
+        added, generation, sealed = self.server.prob_server.dispatcher.append_facts(facts)
+        response: dict[str, Any] = {"added_tuples": added, "generation": generation}
+        if ship_artifact:
+            response["artifact"] = sealed
+        self._send_json(200, response)
+
+    def _handle_import(self) -> None:
+        # The follower half of compile-once-ship: install a sealed delta
+        # produced by the leader.  Extends need the extender (the sealed
+        # form names views, resolved against a freshly built spec MVDB);
+        # appends are self-contained.  A stale artifact maps to 400
+        # (serving_error) — the router force-restarts the diverged replica.
+        prob_server = self.server.prob_server
+        document = self._read_body()
+        artifact = document.get("artifact")
+        if not isinstance(artifact, dict):
+            raise _BadRequest("'artifact' must be a sealed-delta object")
+        mvdb = None
+        if artifact.get("kind") == "extend" and artifact.get("new_view_names"):
+            if prob_server.extender is None:
+                self._send_error_json(
+                    501, "unsupported", "this server was started without an extender"
+                )
+                return
+            spec = document.get("spec")
+            if not isinstance(spec, dict):
+                raise _BadRequest("importing an extend artifact requires its 'spec'")
+            mvdb = prob_server.extender(dict(spec))
+        added, generation = prob_server.dispatcher.apply_sealed(artifact, mvdb=mvdb)
         self._send_json(200, {"added_components": len(added), "generation": generation})
 
 

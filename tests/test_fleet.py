@@ -407,6 +407,64 @@ class TestFleetFaultPaths:
         assert fleet.applied_len(0) == fleet.extend_log_len
 
 
+class TestIngestBroadcast:
+    """Streaming appends through the router: compile once, ship the artifact.
+
+    Runs after the extend-broadcast tests on purpose: the mutation log
+    already holds an extend entry, so these appends exercise a *mixed*
+    log — exactly what a restarted follower must replay mid-ingest.
+    """
+
+    FACTS = {
+        "Author": [[980001, "Ingest Author 980001"]],
+        "Student": [[[980001, 2019], 2.0]],
+    }
+
+    def _reference(self):
+        # Mirror the fleet's mutation history exactly: V1+V2 base, extended
+        # to the full view set (same prepare path as the leader), then the
+        # same append.  Same history => bit-identical answers.
+        reference = repro.connect(
+            build_mvdb(DblpConfig(group_count=GROUPS, seed=SEED),
+                       include_views=("V1", "V2")).mvdb
+        )
+        reference.extend(build_mvdb(DblpConfig(group_count=GROUPS, seed=SEED)).mvdb)
+        reference.append_facts(self.FACTS)
+        return reference
+
+    def test_append_broadcast_keeps_replicas_in_lock_step(self, router, remote):
+        log_before = router.fleet.extend_log_len
+        added = remote.append_facts(self.FACTS)
+        assert added == 2
+        assert router.fleet.extend_log_len == log_before + 1
+        stats = remote.stats()
+        assert stats["generation"] == stats["generation_max"], (
+            "replicas disagree on the invalidation epoch after the append"
+        )
+        reference = self._reference()
+        for query in QUERIES:
+            assert _answers(remote.query(query)) == _answers(reference.query(query))
+
+    def test_follower_restart_mid_ingest_replays_the_mixed_log(self, router, remote):
+        # Depends on the append test: the log now mixes extend + append
+        # entries, so a kill -9 exercises full mixed replay on restart.
+        fleet = router.fleet
+        assert fleet.extend_log_len >= 2
+        os.kill(fleet._slots[1].process.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 15.0
+        while len(fleet.alive_slots()) < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert len(fleet.alive_slots()) == 2
+        assert fleet.applied_len(1) == fleet.extend_log_len
+        stats = remote.stats()
+        assert stats["generation"] == stats["generation_max"], (
+            "the restarted replica did not replay the append entries"
+        )
+        reference = self._reference()
+        for query in QUERIES:
+            assert _answers(remote.query(query)) == _answers(reference.query(query))
+
+
 class TestRouterAllReplicasDown:
     def test_503_only_when_every_replica_is_down(self, engine):
         fleet = ReplicaFleet(

@@ -1,12 +1,15 @@
 """Tests for ulp-based float comparison and the sanctioned 1-ulp drift.
 
 The second half pins the one known source of floating-point divergence in
-the system: extending an MV-index incrementally reassociates the product
-over components, which moves the result by (at most) one ulp relative to a
-from-scratch build of the same view set.  ``INCREMENTAL_REBUILD_ULPS``
-codifies that bound; this test keeps it honest in both directions — the
-drift stays within the constant, and the constant stays small enough to
-still detect real bugs.
+the system: an incrementally extended MV-index evaluates delta-compiled
+OBDD components whose internal weighted sums can round one step away from
+a from-scratch build (the cross-component *product* order is canonicalized
+— ascending minimum variable — so it contributes nothing).
+``INCREMENTAL_REBUILD_ULPS`` codifies that bound; these tests keep it
+honest in both directions — the drift stays within the constant for the
+legacy blocking extend, for the prepared (snapshot-compile + epoch-swap)
+extend, and for streamed fact appends, and the constant stays small enough
+to still detect real bugs.
 """
 
 from __future__ import annotations
@@ -107,5 +110,76 @@ class TestIncrementalRebuildDrift:
             assert within_ulps(probability, rebuilt[answer], INCREMENTAL_REBUILD_ULPS), (
                 f"{answer}: incremental {probability!r} vs fresh {rebuilt[answer]!r} "
                 f"differ by {ulps_between(probability, rebuilt[answer])} ulps "
+                f"(bound {INCREMENTAL_REBUILD_ULPS})"
+            )
+
+    def test_prepared_extend_drifts_at_most_the_pinned_ulps(self):
+        # The non-blocking write path splits extend into prepare (snapshot
+        # compile, off any lock) and apply (epoch swap).  The prepared path
+        # must honor the same drift budget as the legacy blocking extend:
+        # the canonicalized component product means prepare/apply cannot
+        # introduce a new association order.
+        affiliation = (
+            "Q(inst) :- Affiliation(aid, inst), Author(aid, n), n like '%Student 0-0%'"
+        )
+        config = DblpConfig(group_count=3, seed=0)
+        prepared = repro.connect(
+            build_mvdb(config, include_views=("V1", "V2")).mvdb
+        )
+        pending = prepared.engine.prepare_extend(build_mvdb(config).mvdb)
+        prepared.engine.apply_pending(pending)
+        prepared.session.invalidate()
+        fresh = repro.connect(build_mvdb(config).mvdb)
+
+        drifted = {
+            row.values: row.probability for row in prepared.query(affiliation)
+        }
+        rebuilt = {row.values: row.probability for row in fresh.query(affiliation)}
+        assert drifted.keys() == rebuilt.keys()
+        assert drifted
+        for answer, probability in drifted.items():
+            assert within_ulps(probability, rebuilt[answer], INCREMENTAL_REBUILD_ULPS), (
+                f"{answer}: prepared-extend {probability!r} vs fresh "
+                f"{rebuilt[answer]!r} differ by "
+                f"{ulps_between(probability, rebuilt[answer])} ulps "
+                f"(bound {INCREMENTAL_REBUILD_ULPS})"
+            )
+
+    def test_append_then_extend_stays_within_the_pinned_ulps(self):
+        # Stacked mutations (streamed fact append, then a view extend over
+        # the grown base) exercise the headroom ulp: the fresh comparison
+        # point is a from-scratch build over the *appended* data.
+        affiliation = (
+            "Q(inst) :- Affiliation(aid, inst), Author(aid, n), n like '%Student 0-0%'"
+        )
+        facts = {
+            "Author": [[990001, "Ingest Author 990001"]],
+            "Student": [[[990001, 2020], 1.5]],
+        }
+        config = DblpConfig(group_count=3, seed=0)
+        stacked = repro.connect(
+            build_mvdb(config, include_views=("V1", "V2")).mvdb
+        )
+        stacked.append_facts(facts)
+        stacked.extend(build_mvdb(config).mvdb)
+
+        fresh_mvdb = build_mvdb(config).mvdb
+        for row in facts["Author"]:
+            fresh_mvdb.database.insert("Author", row)
+        for row, weight in facts["Student"]:
+            fresh_mvdb.add_probabilistic_tuple("Student", row, weight)
+        fresh = repro.connect(fresh_mvdb)
+
+        drifted = {
+            row.values: row.probability for row in stacked.query(affiliation)
+        }
+        rebuilt = {row.values: row.probability for row in fresh.query(affiliation)}
+        assert drifted.keys() == rebuilt.keys()
+        assert drifted
+        for answer, probability in drifted.items():
+            assert within_ulps(probability, rebuilt[answer], INCREMENTAL_REBUILD_ULPS), (
+                f"{answer}: append+extend {probability!r} vs fresh "
+                f"{rebuilt[answer]!r} differ by "
+                f"{ulps_between(probability, rebuilt[answer])} ulps "
                 f"(bound {INCREMENTAL_REBUILD_ULPS})"
             )
