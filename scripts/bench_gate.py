@@ -58,13 +58,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.engine import MVQueryEngine  # noqa: E402
 from repro.dblp.config import DblpConfig  # noqa: E402
-from repro.dblp.workload import build_mvdb  # noqa: E402
+from repro.dblp.workload import build_mvdb, students_of_advisor  # noqa: E402
 from repro.lineage.dnf import DNF  # noqa: E402
 from repro.mvindex.cc_intersect import cc_mv_intersect  # noqa: E402
 from repro.mvindex.index import MVIndex  # noqa: E402
 from repro.mvindex.intersect import mv_intersect  # noqa: E402
 from repro.numerics import GATE_PROBABILITY_ULPS, within_ulps  # noqa: E402
 from repro.obdd.construct import build_obdd  # noqa: E402
+from repro.serving.session import QuerySession  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "bench_gate_baseline.json"
 DEFAULT_SERVING_CSV = REPO_ROOT / "benchmarks" / "results" / "serving_http.csv"
@@ -163,6 +164,15 @@ def measure() -> dict:
     )
 
     single = DNF([[min(index.variables())]])
+
+    # One end-to-end query through the serving session pins the typed
+    # result's touched-component count.  This is the structural fact the
+    # subscription evaluator's skip rule rests on (components a lineage
+    # does not touch cancel in the conditional ratio), so a silent change
+    # in component partitioning fails the gate even when sizes hold.
+    engine.mv_index = index
+    session_result = QuerySession(engine).execute(students_of_advisor("Advisor 0"))
+
     return {
         "scale": {"groups": SMOKE_GROUPS, "seed": SMOKE_SEED, "clauses": len(lineage)},
         "calibration_s": calibration,
@@ -196,6 +206,7 @@ def measure() -> dict:
             "obdd_size": concat.size,
             "index_nodes": index.size,
             "index_components": index.component_count(),
+            "query_touched_components": session_result.touched_components,
         },
     }
 

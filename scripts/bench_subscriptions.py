@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Standing-query scaling: subscriptions vs tick latency vs fraction skipped.
+
+For each standing-query count, the benchmark registers that many
+subscriptions (zipf-drawn from the DBLP workload mix, alternating change
+and threshold predicates) directly against an in-process
+:class:`~repro.serving.dispatch.Dispatcher` +
+:class:`~repro.subscribe.SubscriptionService`, then streams a fixed number
+of append ticks through the same rotating batch mix the loadgen uses
+(:func:`~repro.serving.loadgen.subscription_batch_facts`: answer-changing,
+provably-skippable, and all-overlapping-but-quiet) and records per-tick
+latency plus the evaluator's fire/skip split.
+
+The committed ``benchmarks/results/subscription_scaling.csv`` (referenced
+from the README) is this script's output: one row per standing-query
+count with mean/p95 tick latency and the fraction of subscription
+evaluations the delta-overlap rule provably skipped.
+
+Usage::
+
+    python scripts/bench_subscriptions.py                     # CSV to stdout + file
+    python scripts/bench_subscriptions.py --counts 100,1000   # custom sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import random
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402
+from repro.dblp.config import DblpConfig  # noqa: E402
+from repro.dblp.workload import build_mvdb  # noqa: E402
+from repro.serving.dispatch import Dispatcher  # noqa: E402
+from repro.serving.loadgen import WorkloadMix, subscription_batch_facts  # noqa: E402
+from repro.subscribe import SubscriptionService  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "subscription_scaling.csv"
+FIELDS = (
+    "standing_queries",
+    "ticks",
+    "mean_tick_ms",
+    "p95_tick_ms",
+    "evaluations",
+    "skips",
+    "fraction_skipped",
+    "notifications",
+)
+
+
+def run_point(
+    subscriptions: int, ticks: int, groups: int, entities: int, seed: int
+) -> dict:
+    """One sweep point: register, tick, report — on a fresh engine."""
+    workload = build_mvdb(DblpConfig(group_count=groups, seed=seed))
+    engine = repro.connect(workload.mvdb).engine
+    dispatcher = Dispatcher(engine, workers=2)
+    service = SubscriptionService(dispatcher)
+    try:
+        rng = random.Random(seed * 48611 + 3)
+        sample_query = WorkloadMix(entities=entities).sampler(rng)
+        for index in range(subscriptions):
+            spec: dict = {"query": sample_query(), "method": "mvindex"}
+            if index % 2:
+                spec["predicate"] = {"kind": "threshold", "op": ">=", "value": 0.5}
+            service.subscribe(spec, persist=False)
+        tick_ms: list[float] = []
+        for batch_index in range(ticks):
+            dispatcher.append_facts(
+                subscription_batch_facts(batch_index, batch_size=4, entities=entities)
+            )
+            tick_ms.append(service.stats()["last_tick_ms"])
+        stats = service.stats()
+    finally:
+        service.close()
+        dispatcher.close()
+    tick_ms.sort()
+    evaluations = stats["evaluations_total"]  # tick evaluations (baselines excluded)
+    skips = stats["skips_total"]
+    return {
+        "standing_queries": subscriptions,
+        "ticks": ticks,
+        "mean_tick_ms": round(sum(tick_ms) / len(tick_ms), 3),
+        "p95_tick_ms": round(tick_ms[min(len(tick_ms) - 1, int(0.95 * len(tick_ms)))], 3),
+        "evaluations": evaluations,
+        "skips": skips,
+        "fraction_skipped": round(skips / max(1, skips + evaluations), 4),
+        "notifications": stats["notifications_total"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--counts",
+        default="100,300,1000,3000",
+        help="comma-separated standing-query counts to sweep",
+    )
+    parser.add_argument("--ticks", type=int, default=30, help="append ticks per point")
+    parser.add_argument("--groups", type=int, default=6, help="DBLP research groups")
+    parser.add_argument("--entities", type=int, default=3, help="query entities per template")
+    parser.add_argument("--seed", type=int, default=0, help="sampling seed")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="CSV path (committed evidence)"
+    )
+    args = parser.parse_args(argv)
+
+    counts = [int(part) for part in args.counts.split(",") if part.strip()]
+    rows = []
+    for count in counts:
+        row = run_point(count, args.ticks, args.groups, args.entities, args.seed)
+        rows.append(row)
+        print(
+            f"{row['standing_queries']:>6} subs: mean tick {row['mean_tick_ms']:.2f}ms, "
+            f"p95 {row['p95_tick_ms']:.2f}ms, skipped {row['fraction_skipped']:.0%}, "
+            f"{row['notifications']} notifications"
+        )
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with args.out.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

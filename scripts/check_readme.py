@@ -44,6 +44,10 @@ PYDOC_MODULES = [
     "repro.serving.router",
     "repro.serving.server",
     "repro.serving.session",
+    "repro.subscribe",
+    "repro.subscribe.evaluator",
+    "repro.subscribe.registry",
+    "repro.subscribe.sinks",
     "repro.mvindex.augmented",
     "repro.obdd.manager",
     "repro.core.engine",

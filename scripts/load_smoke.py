@@ -29,19 +29,40 @@ the run on the same invalidation generation.  The parity reference replays
 the extend, which is the whole point: the write path must leave every
 answer byte-identical to an in-process engine with the same view history.
 
+``--subscriptions N`` switches to the standing-query workload: register
+``N`` subscriptions, stream live ingest (batches rotate between
+answer-changing, provably-skippable, and all-overlapping-but-quiet), and
+long-poll the notification stream with a running cursor.  Extra
+invariants: every registration succeeds; notification seq numbers are
+**gapless and duplicate-free** from 1 (exactly-once); at least one
+notification fires; the reported skip fraction is > 0 (the evaluator
+really skips provably-unchanged subscriptions); notify-poll p95 stays
+bounded; and the final answers are byte-identical to an in-process
+reference that replays the same append sequence.  With ``--replicas 2``
+the smoke additionally SIGKILLs the *follower* replica mid-run — the
+fleet restarts it from the replicated op log, and the smoke asserts the
+restarted follower regenerates the leader's notification stream
+byte-for-byte (same seqs, same payloads), which is what makes the
+client-held cursor exactly-once across the whole cluster.
+
 Usage::
 
     python scripts/load_smoke.py                  # ~15s, CI defaults
     python scripts/load_smoke.py --duration 5     # quicker local check
     python scripts/load_smoke.py --replicas 2 --ingest   # CI ingest-smoke
+    python scripts/load_smoke.py --replicas 2 --subscriptions 1000  # CI subscription-smoke
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 import threading
+import time
+import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -55,6 +76,8 @@ from repro.serving.loadgen import (  # noqa: E402
     fetch_stats,
     run_closed,
     run_ingest,
+    run_subscriptions,
+    subscription_batch_facts,
 )
 from repro.serving.server import ProbServer  # noqa: E402
 
@@ -130,7 +153,16 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="seconds between appended fact batches in --ingest mode",
     )
+    parser.add_argument(
+        "--subscriptions",
+        type=int,
+        default=0,
+        help="standing-query mode: register this many subscriptions against live "
+        "ingest (0 = off); with --replicas 2 the follower is SIGKILLed mid-run",
+    )
     args = parser.parse_args(argv)
+    if args.subscriptions and args.ingest:
+        parser.error("--subscriptions and --ingest are separate modes; pick one")
 
     config = DblpConfig(group_count=args.groups, seed=args.seed)
     initial_views = ("V1", "V2") if args.ingest else ("V1", "V2", "V3")
@@ -171,7 +203,45 @@ def main(argv: list[str] | None = None) -> int:
     try:
         poller.start()
         mix = WorkloadMix(entities=max(2, args.groups // 2))
-        if args.ingest:
+        extras: dict = {}
+        killed: dict = {"pid": None}
+        if args.subscriptions:
+            if args.replicas > 1:
+                fleet = server.fleet
+                follower = fleet.slots[-1]
+
+                def kill_follower() -> None:
+                    # Wait until every standing query is armed cluster-wide,
+                    # let a few ingest ticks land, then SIGKILL the follower:
+                    # the fleet must restart it from the replicated op log.
+                    deadline = time.monotonic() + 120.0
+                    while time.monotonic() < deadline and not stop.is_set():
+                        try:
+                            armed = fetch_stats(server.url)["subscriptions"]["active"]
+                        except Exception:
+                            armed = 0
+                        if armed >= args.subscriptions:
+                            break
+                        stop.wait(0.5)
+                    stop.wait(max(1.0, args.duration * 0.3))
+                    if stop.is_set():
+                        return
+                    pid = fleet.pid(follower)
+                    if pid is not None:
+                        killed["pid"] = pid
+                        os.kill(pid, signal.SIGKILL)
+
+                threading.Thread(target=kill_follower, daemon=True).start()
+            report, extras = run_subscriptions(
+                server.url,
+                subscriptions=args.subscriptions,
+                duration_s=args.duration,
+                concurrency=min(4, args.concurrency),
+                mix=mix,
+                seed=args.seed,
+                append_interval_s=args.append_interval,
+            )
+        elif args.ingest:
             report = run_ingest(
                 server.url,
                 duration_s=args.duration,
@@ -209,6 +279,17 @@ def main(argv: list[str] | None = None) -> int:
         if args.min_qps and report.qps < args.min_qps:
             failures.append(f"throughput {report.qps:.1f} qps below floor {args.min_qps}")
 
+        if args.subscriptions and args.replicas > 1:
+            # Give the fleet time to restart the SIGKILLed follower before
+            # reading the final cluster state.
+            recovery_deadline = time.monotonic() + 60.0
+            while time.monotonic() < recovery_deadline:
+                if fetch_stats(server.url)["router"]["replicas_alive"] >= args.replicas:
+                    break
+                time.sleep(0.5)
+            else:
+                failures.append("follower never came back after the mid-run SIGKILL")
+
         stats = fetch_stats(server.url)
         if stats["errors"]["total"]:
             failures.append(f"server counted {stats['errors']['total']} internal errors")
@@ -217,7 +298,103 @@ def main(argv: list[str] | None = None) -> int:
         # in-process facade's for the same queries.  In ingest mode the
         # reference replays the view history (V1+V2, then the extend): the
         # write path must not perturb a single answer bit.
-        if args.ingest:
+        if args.subscriptions:
+            if len(extras["subscription_ids"]) != args.subscriptions:
+                failures.append(
+                    f"only {len(extras['subscription_ids'])} of {args.subscriptions} "
+                    "subscriptions registered successfully"
+                )
+            if len(set(extras["subscription_ids"])) != len(extras["subscription_ids"]):
+                failures.append("the server assigned duplicate subscription ids")
+            if extras["append_batches"] < 3:
+                failures.append(
+                    f"only {extras['append_batches']} ingest batches landed; the "
+                    "rotation needs at least 3 to exercise fire/skip/quiet ticks"
+                )
+
+            # Exactly-once: the cursor-driven stream must be gapless and
+            # duplicate-free from seq 1, and something must actually fire.
+            seqs = [notification["seq"] for notification in extras["notifications"]]
+            if not seqs:
+                failures.append("no notification fired under live ingest")
+            elif seqs != list(range(1, len(seqs) + 1)):
+                failures.append(
+                    f"notification stream has gaps or duplicates: got {len(seqs)} "
+                    f"entries, head {seqs[-1]}, first break at "
+                    f"{next(i for i, s in enumerate(seqs, 1) if s != i)}"
+                )
+
+            sub_stats = stats["subscriptions"]
+            evaluations = sub_stats["evaluations_total"]
+            skips = sub_stats["skips_total"]
+            if skips <= 0:
+                failures.append(
+                    "the evaluator never skipped a provably-unchanged subscription "
+                    "(skip fraction must be > 0 on the rotating ingest mix)"
+                )
+            else:
+                print(
+                    f"subscriptions: {sub_stats['active']} active, "
+                    f"{sub_stats['ticks_total']} ticks, {evaluations} evaluations, "
+                    f"skip fraction {skips / max(1, skips + evaluations):.2f}, "
+                    f"{sub_stats['notifications_total']} notifications"
+                )
+            notify_p95 = report.op_latency_ms.get("notify", {}).get("p95_ms", 0.0)
+            # Long-polls block up to 1s waiting for news by design; the bound
+            # catches pathological stalls, not the wait itself.
+            if notify_p95 > max(5000.0, args.p95_ms):
+                failures.append(
+                    f"notify long-poll p95 {notify_p95:.1f}ms exceeds the bound"
+                )
+
+            if args.replicas > 1:
+                if killed["pid"] is None:
+                    failures.append("the smoke never got to SIGKILL the follower")
+                if stats["router"]["restarts_total"] < 1:
+                    failures.append("the fleet recorded no restart after the SIGKILL")
+                # Every replica — including the restarted follower — must hold
+                # the identical notification stream: same seqs, same payloads.
+                streams = []
+                for slot in server.fleet.alive_slots():
+                    host, port = server.fleet.address(slot)
+                    request = urllib.request.Request(
+                        f"http://{host}:{port}/v1/notifications",
+                        data=json.dumps(
+                            {"since": 0, "wait_s": 0, "limit": 1000000}
+                        ).encode("utf-8"),
+                        headers={"Content-Type": "application/json"},
+                        method="POST",
+                    )
+                    with urllib.request.urlopen(request, timeout=10.0) as response:
+                        document = json.loads(response.read())
+                    streams.append(json.dumps(document["notifications"], sort_keys=True))
+                if len(streams) != args.replicas:
+                    failures.append(
+                        f"only {len(streams)} of {args.replicas} replicas answered "
+                        "the final notification read"
+                    )
+                if len(set(streams)) > 1:
+                    failures.append(
+                        "replicas regenerated different notification streams "
+                        "after the follower restart"
+                    )
+                elif streams and seqs and json.dumps(
+                    extras["notifications"], sort_keys=True
+                ) != streams[0]:
+                    failures.append(
+                        "the client-collected stream differs from the replicas' streams"
+                    )
+
+            # The parity reference replays the exact append sequence the
+            # writer sent — standing-query machinery must not perturb answers.
+            reference = repro.connect(build_mvdb(config).mvdb)
+            for batch_index in range(extras["append_batches"]):
+                reference.append_facts(
+                    subscription_batch_facts(
+                        batch_index, batch_size=4, entities=mix.entities
+                    )
+                )
+        elif args.ingest:
             if report.ops.get("append", 0) < 1:
                 failures.append("ingest run never appended a fact batch")
             if report.ops.get("extend", 0) != 1:

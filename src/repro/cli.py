@@ -32,6 +32,8 @@ Two families of commands share the ``repro`` entry point:
       python -m repro serve dblp-index.json.gz --port 8080 --workers 4
       python -m repro loadtest --duration 10 --concurrency 8
       python -m repro ingest --duration 15 --append-interval 1 --extend-views V1,V2,V3
+      python -m repro subscribe "Q(a) :- Advisor(x, a)" --threshold ">=0.5"
+      python -m repro notify-listen --since 0
 
 Everything is built on the unified client facade (:func:`repro.connect` /
 :func:`repro.open`); ``--json`` prints typed results through
@@ -78,6 +80,8 @@ SERVING_COMMANDS = (
     "serve",
     "loadtest",
     "ingest",
+    "subscribe",
+    "notify-listen",
 )
 
 #: Exit codes: success / user error / internal error.
@@ -352,6 +356,44 @@ def build_serving_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--json", action="store_true", help="print the load report as a JSON document"
     )
+
+    subscribe = commands.add_parser(
+        "subscribe",
+        help="register a standing query on a running 'repro serve' server",
+    )
+    subscribe.add_argument("query", help="datalog standing query")
+    subscribe.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="base URL of the running server"
+    )
+    subscribe.add_argument("--method", default="mvindex", help="evaluation method")
+    subscribe.add_argument(
+        "--threshold",
+        default=None,
+        help="fire when the set of answers satisfying OP VALUE changes, e.g. '>=0.5' "
+        "(default: fire on any answer-probability change)",
+    )
+    subscribe.add_argument(
+        "--webhook",
+        default=None,
+        help="also push notifications to this URL (single-server best-effort)",
+    )
+
+    listen = commands.add_parser(
+        "notify-listen",
+        help="long-poll the notification stream of a running 'repro serve' server",
+    )
+    listen.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="base URL of the running server"
+    )
+    listen.add_argument(
+        "--since", type=int, default=0, help="resume cursor (seq of the last seen notification)"
+    )
+    listen.add_argument(
+        "--wait", type=float, default=25.0, help="seconds each long-poll blocks for news"
+    )
+    listen.add_argument(
+        "--max", type=int, default=None, help="exit after this many notifications (default: run on)"
+    )
     return parser
 
 
@@ -569,6 +611,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         extender=extender,
         verbose=args.verbose,
+        # Standing queries registered against an artifact-backed server are
+        # durable: a restart re-arms them from the sidecar.
+        subscriptions_path=(
+            f"{args.artifact}.subs.json" if args.artifact is not None else None
+        ),
     )
     server.dispatcher.warm()
     # The URL line goes out after the server is bound (and flushed) so
@@ -647,6 +694,47 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_subscribe(args: argparse.Namespace) -> int:
+    from repro.client import connect_remote
+    from repro.errors import ClientError
+
+    predicate = None
+    if args.threshold is not None:
+        raw = args.threshold.strip()
+        for op in (">=", "<=", ">", "<"):
+            if raw.startswith(op):
+                try:
+                    value = float(raw[len(op):])
+                except ValueError:
+                    raise ClientError(f"--threshold value in {raw!r} is not a number") from None
+                predicate = {"kind": "threshold", "op": op, "value": value}
+                break
+        else:
+            raise ClientError(f"--threshold must look like '>=0.5', got {raw!r}")
+    sink = {"kind": "webhook", "url": args.webhook} if args.webhook else None
+    remote = connect_remote(args.url)
+    document = remote.subscribe(args.query, predicate=predicate, sink=sink, method=args.method)
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
+def _cmd_notify_listen(args: argparse.Namespace) -> int:
+    from repro.client import connect_remote
+
+    remote = connect_remote(args.url)
+    cursor = args.since
+    seen = 0
+    while args.max is None or seen < args.max:
+        batch = remote.notifications(since=cursor, wait_s=args.wait)
+        for notification in batch["notifications"]:
+            print(json.dumps(notification, sort_keys=True), flush=True)
+            seen += 1
+            if args.max is not None and seen >= args.max:
+                break
+        cursor = batch["next"]
+    return EXIT_OK
+
+
 def _serving_main(argv: list[str]) -> int:
     args = _parse_args(build_serving_parser(), argv)
     handlers = {
@@ -658,6 +746,8 @@ def _serving_main(argv: list[str]) -> int:
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
         "ingest": _cmd_ingest,
+        "subscribe": _cmd_subscribe,
+        "notify-listen": _cmd_notify_listen,
     }
     return handlers[args.command](args)
 

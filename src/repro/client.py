@@ -362,6 +362,59 @@ class RemoteProbDB:
         document = self._request("/v1/append", {"facts": dict(facts)})
         return document["added_tuples"]
 
+    # ---------------------------------------------------------- subscriptions
+    def subscribe(
+        self,
+        query: "str | UCQ | ConjunctiveQuery",
+        predicate: Mapping[str, Any] | None = None,
+        sink: Mapping[str, Any] | None = None,
+        method: str = "mvindex",
+    ) -> dict[str, Any]:
+        """Register a standing query; returns the subscription document.
+
+        ``predicate`` is ``{"kind": "change"}`` (the default: fire whenever
+        any answer probability moves) or ``{"kind": "threshold", "op":
+        ">|>=|<|<=", "value": p}`` (fire when the set of answers satisfying
+        the comparison changes).  ``sink`` defaults to the server's
+        long-poll log (read with :meth:`notifications`); pass ``{"kind":
+        "webhook", "url": ...}`` for push delivery.  The returned document
+        carries the server-assigned ``id`` and the baseline answers.
+        """
+        payload: dict[str, Any] = {
+            "query": self._as_wire_query(query),
+            "method": method,
+        }
+        if predicate is not None:
+            payload["predicate"] = dict(predicate)
+        if sink is not None:
+            payload["sink"] = dict(sink)
+        document = self._request("/v1/subscribe", payload)
+        return document["subscription"]
+
+    def unsubscribe(self, sub_id: str) -> dict[str, Any]:
+        """Remove a standing query by its server-assigned id."""
+        return self._request("/v1/unsubscribe", {"id": sub_id})
+
+    def subscriptions(self) -> dict[str, Any]:
+        """The server's ``/v1/subscriptions`` registry listing."""
+        return self._request("/v1/subscriptions")
+
+    def notifications(
+        self, since: int = 0, wait_s: float = 0.0, limit: int = 1000
+    ) -> dict[str, Any]:
+        """Long-poll the notification stream from cursor ``since``.
+
+        Returns ``{"notifications", "next", "head", "oldest", "dropped"}``;
+        pass the returned ``next`` as the following call's ``since`` to
+        consume the stream exactly once.  ``wait_s`` blocks server-side
+        until news arrives (capped at the server's long-poll maximum), so
+        size the client ``timeout`` above it.
+        """
+        return self._request(
+            "/v1/notifications",
+            {"since": since, "wait_s": wait_s, "limit": limit},
+        )
+
     # ------------------------------------------------------------ inspection
     def stats(self) -> dict[str, Any]:
         """The server's ``/v1/stats`` document (serving-tier statistics)."""

@@ -91,6 +91,39 @@ class PendingExtend:
             len(rows) for rows in self.deterministic_facts.values()
         )
 
+    def delta_descriptor(self) -> dict[str, Any]:
+        """Summarize what this delta can possibly touch, for subscriptions.
+
+        The subscription evaluator skips a standing query when the delta is
+        provably disjoint from it, which needs exactly two facts about the
+        mutation: which *relations* gained rows (a query over disjoint
+        relations keeps its relational lineage — appends are monotone), and
+        which *variables* sit in recompiled or new MV-index components (a
+        lineage over disjoint variables keeps its conditional probability —
+        untouched components cancel in ``P0(Q ∧ ¬W)/P0(¬W)``).  Recompiled
+        components re-enter the index with their full variable pool, so
+        ``component_variables`` of the index delta covers every removed
+        component's variables too.
+        """
+        relations: set[str] = set(self.deterministic_facts)
+        relations.update(table["name"] for table in self.new_tables)
+        relations.update(relation for relation, *_ in self.new_tuples)
+        component_variables: set[int] = set()
+        removed_keys: list[int] = []
+        if self.index_delta is not None:
+            for variables in self.index_delta.get("component_variables", []):
+                component_variables.update(int(v) for v in variables)
+            removed_keys = [int(key) for key in self.index_delta.get("removed_keys", [])]
+        return {
+            "kind": self.kind,
+            "base_epoch": self.base_epoch,
+            "relations": sorted(relations),
+            "component_variables": sorted(component_variables),
+            "removed_keys": removed_keys,
+            "added_clauses": len(self.added_clauses),
+            "added_tuples": self.added_tuple_count,
+        }
+
     def sealed(self) -> dict[str, Any]:
         """Render this delta as plain JSON-compatible data.
 

@@ -79,6 +79,23 @@ _QPS_WINDOW = 10.0
 #: The cache tiers reported by :meth:`Dispatcher.stats`, hottest first.
 CACHE_TIERS = ("string", "result", "lineage")
 
+#: The "subscriptions" section of /v1/stats when no service is attached.
+#: Every replica of a fleet carries an identical replicated copy of the
+#: subscription state, so merge_stats takes the per-field MAX (summing
+#: would count the same subscription N times).
+EMPTY_SUBSCRIPTION_STATS: dict[str, Any] = {
+    "active": 0,
+    "ticks_total": 0,
+    "evaluations_total": 0,
+    "skips_total": 0,
+    "notifications_total": 0,
+    "delivered_total": 0,
+    "delivery_failures_total": 0,
+    "dead_letter_total": 0,
+    "seq_head": 0,
+    "last_tick_ms": 0.0,
+}
+
 
 def render_metrics(stats: dict[str, Any], extra_lines: Sequence[str] = ()) -> str:
     """Render a ``/v1/stats``-shaped document as Prometheus exposition text.
@@ -134,6 +151,27 @@ def render_metrics(stats: dict[str, Any], extra_lines: Sequence[str] = ()) -> st
     ]
     for status, count in sorted(stats["errors"]["responses_by_status"].items()):
         lines.append(f'repro_responses_total{{status="{status}"}} {count}')
+    subscriptions = stats.get("subscriptions", EMPTY_SUBSCRIPTION_STATS)
+    lines += [
+        "# HELP repro_subscriptions_active Standing queries currently registered.",
+        "# TYPE repro_subscriptions_active gauge",
+        f"repro_subscriptions_active {subscriptions['active']}",
+        "# HELP repro_subscription_ticks_total Delta ticks processed.",
+        "# TYPE repro_subscription_ticks_total counter",
+        f"repro_subscription_ticks_total {subscriptions['ticks_total']}",
+        "# HELP repro_subscription_evals_total Subscriptions re-evaluated by a tick.",
+        "# TYPE repro_subscription_evals_total counter",
+        f"repro_subscription_evals_total {subscriptions['evaluations_total']}",
+        "# HELP repro_subscription_skips_total Subscriptions provably unaffected and skipped.",
+        "# TYPE repro_subscription_skips_total counter",
+        f"repro_subscription_skips_total {subscriptions['skips_total']}",
+        "# HELP repro_notifications_total Notifications appended to the stream.",
+        "# TYPE repro_notifications_total counter",
+        f"repro_notifications_total {subscriptions['notifications_total']}",
+        "# HELP repro_notification_dead_letter_total Deliveries abandoned after retries.",
+        "# TYPE repro_notification_dead_letter_total counter",
+        f"repro_notification_dead_letter_total {subscriptions['dead_letter_total']}",
+    ]
     lines.extend(extra_lines)
     return "\n".join(lines) + "\n"
 
@@ -155,6 +193,7 @@ def merge_stats(documents: Sequence[dict[str, Any]]) -> dict[str, Any]:
         return {
             "generation": 0,
             "generation_max": 0,
+            "subscriptions": EMPTY_SUBSCRIPTION_STATS.copy(),
             "workers": 0,
             "max_queue": 0,
             "queue_depth": 0,
@@ -210,9 +249,21 @@ def merge_stats(documents: Sequence[dict[str, Any]]) -> dict[str, Any]:
         touched = tier_stats["hits"] + tier_stats["misses"]
         tier_stats["hit_ratio"] = tier_stats["hits"] / touched if touched else 0.0
 
+    # Subscription state is *replicated*, not sharded: every replica holds
+    # an identical registry and produces an identical notification stream,
+    # so the cluster view is the per-field MAX (the most caught-up replica),
+    # never a sum.
+    subscriptions: dict[str, Any] = {}
+    for key, default in EMPTY_SUBSCRIPTION_STATS.items():
+        subscriptions[key] = max(
+            (document.get("subscriptions", {}).get(key, default) for document in documents),
+            default=default,
+        )
+
     return {
         "generation": min(generations),
         "generation_max": max(generations),
+        "subscriptions": subscriptions,
         "workers": int(total("workers")),
         "max_queue": int(total("max_queue")),
         "queue_depth": int(total("queue_depth")),
@@ -467,6 +518,10 @@ class Dispatcher:
         self._retry_hint: tuple[float, float] = (-10.0, 0.0)  # (refreshed_at, p50_s)
         self._string_cache: "OrderedDict[tuple[Any, ...], QueryResult]" = OrderedDict()
         self._string_cache_size = string_cache_size
+        #: Set by SubscriptionService.attach(); provides the "subscriptions"
+        #: section of stats() and handles replayed subscription log entries.
+        self.subscription_service: Any | None = None
+        self._delta_listeners: list[Any] = []
         self._queues: list["queue.SimpleQueue[_Job | None]"] = [
             queue.SimpleQueue() for _ in range(workers)
         ]
@@ -495,6 +550,44 @@ class Dispatcher:
         """Warm every worker session so first requests only read."""
         for session in self.sessions:
             session.warm()
+
+    def add_delta_listener(self, listener: Any) -> None:
+        """Register a callable invoked after every published mutation.
+
+        The listener receives the delta descriptor (the document of
+        :meth:`PendingExtend.delta_descriptor` plus a ``"generation"`` key)
+        *inside* the single-writer critical section, after the read/write
+        lock has been released: readers are already flowing against the new
+        epoch, but the next mutation cannot start until the listener
+        returns.  That ordering is what makes subscription evaluation
+        deterministic — every replica observes the same (mutation, tick)
+        interleaving.
+        """
+        self._delta_listeners.append(listener)
+
+    @contextmanager
+    def read_pinned(self) -> Iterator[int]:
+        """Hold the reader side of the epoch lock; yields the pinned generation.
+
+        While the context is held no mutation can publish, so everything
+        computed inside is valid for exactly the yielded generation.  Used
+        by the subscription evaluator to guarantee fired answers are
+        bit-identical to a fresh query at the same generation.
+        """
+        with self._rwlock.read_locked():
+            with self._state:
+                generation = self._generation
+            yield generation
+
+    @contextmanager
+    def mutation_locked(self) -> Iterator[None]:
+        """Hold the single-writer mutex without mutating anything.
+
+        Serializes a non-mutating critical section (e.g. evaluating a new
+        subscription's baseline) against the write path, so the baseline
+        can never be computed halfway through a publish."""
+        with self._write_mutex:
+            yield
 
     def close(self) -> None:
         """Stop the worker threads (idempotent)."""
@@ -735,6 +828,15 @@ class Dispatcher:
                 self._inflight.clear()
             for session in self.sessions:
                 session.invalidate()
+        if self._delta_listeners:
+            descriptor = pending.delta_descriptor()
+            descriptor["generation"] = generation
+            # Still inside the caller's single-writer mutex: listeners (the
+            # subscription tick) run against exactly this generation, and
+            # the next mutation waits for them.  Readers are not blocked —
+            # the write lock is already released.
+            for listener in self._delta_listeners:
+                listener(descriptor)
         return added, generation
 
     def extend(self, mvdb: MVDB) -> tuple[list[int], int]:
@@ -833,8 +935,14 @@ class Dispatcher:
             pending = self._pending
             inflight = len(self._inflight)
         snapshot = self.metrics.snapshot()
+        subscriptions = (
+            self.subscription_service.stats()
+            if self.subscription_service is not None
+            else EMPTY_SUBSCRIPTION_STATS.copy()
+        )
         return {
             "generation": generation,
+            "subscriptions": subscriptions,
             "workers": len(self.sessions),
             "max_queue": self.max_queue,
             "queue_depth": pending,

@@ -30,7 +30,10 @@ Responsibilities:
   (:meth:`~repro.serving.dispatch.Dispatcher.apply_sealed`) — no
   recompilation, and the restarted replica is byte-identical to its peers
   (legacy raw-spec entries without an artifact are still replayed through
-  the extender).  The monitor restarts any replica whose applied log
+  the extender).  Subscription ops (``subscribe``/``unsubscribe``) are
+  interleaved in the same log, so a restarted replica also re-arms every
+  standing query in the original order and regenerates the identical
+  notification stream.  The monitor restarts any replica whose applied log
   length falls behind — a replica can never serve a stale view set for
   longer than one health interval.
 
@@ -81,7 +84,23 @@ def replay_entry(
     rebuild the spec MVDB the view names resolve against.  Legacy entries
     (raw extend specs, pre-artifact logs) fall back to a full
     extend-and-recompile through the extender.
+
+    The log also interleaves subscription ops (``{"kind": "subscribe",
+    "subscription": spec}`` / ``{"kind": "unsubscribe", "id": ...}``) in
+    the exact order the router accepted them; replaying them through the
+    dispatcher's attached subscription service makes a restarted replica
+    regenerate the same notification stream (same seq numbers, same
+    payloads) its peers hold.
     """
+    if entry.get("kind") in ("subscribe", "unsubscribe"):
+        service = getattr(dispatcher, "subscription_service", None)
+        if service is None:
+            raise ServingError(
+                "mutation log holds a subscription op but no subscription "
+                "service is attached to the dispatcher"
+            )
+        service.apply_log_entry(entry)
+        return
     artifact = entry.get("artifact")
     if artifact is None:
         if extender is None:
@@ -250,6 +269,16 @@ class ReplicaFleet:
     def applied_len(self, slot_id: int) -> int:
         with self._lock:
             return self._slots[slot_id].applied_len
+
+    def pid(self, slot_id: int) -> int | None:
+        """The slot's current process id (None before start / mid-restart).
+
+        Public so chaos tests can SIGKILL a specific replica and assert the
+        fleet's replay-based recovery.
+        """
+        with self._lock:
+            process = self._slots[slot_id].process
+            return None if process is None else process.pid
 
     def stats(self) -> dict[str, Any]:
         """Fleet-level process bookkeeping (merged into the router's stats)."""

@@ -81,8 +81,16 @@ _POOL_SIZE = 16
 #: Seconds the router waits for a replica to answer one request.
 DEFAULT_UPSTREAM_TIMEOUT = 120.0
 
-_GET_PATHS = ("/healthz", "/v1/stats", "/metrics")
-_POST_PATHS = ("/v1/query", "/v1/query_batch", "/v1/extend", "/v1/append")
+_GET_PATHS = ("/healthz", "/v1/stats", "/metrics", "/v1/subscriptions")
+_POST_PATHS = (
+    "/v1/query",
+    "/v1/query_batch",
+    "/v1/extend",
+    "/v1/append",
+    "/v1/subscribe",
+    "/v1/unsubscribe",
+    "/v1/notifications",
+)
 
 
 class HashRing:
@@ -421,6 +429,10 @@ class Router:
                     wfile, 200, self.metrics_text().encode("utf-8"),
                     content_type="text/plain; version=0.0.4", keep_alive=keep_alive,
                 )
+            elif path == "/v1/subscriptions":
+                # Replicated state: every replica holds an identical
+                # registry, so any alive replica's answer is the cluster's.
+                self._handle_replicated_read(wfile, "GET", path, b"", keep_alive)
             elif path in _POST_PATHS:
                 self._respond(
                     wfile, 405,
@@ -435,6 +447,14 @@ class Router:
         elif method == "POST":
             if path in ("/v1/extend", "/v1/append"):
                 self._handle_mutation(wfile, path, body, keep_alive)
+            elif path in ("/v1/subscribe", "/v1/unsubscribe"):
+                self._handle_subscription(wfile, path, body, keep_alive)
+            elif path == "/v1/notifications":
+                # Replicas regenerate byte-identical notification streams
+                # from the replicated op log, so a long-poll cursor is valid
+                # against any alive replica — including one that was
+                # SIGKILLed and re-forked since the client's last read.
+                self._handle_replicated_read(wfile, "POST", path, body, keep_alive)
             elif path in ("/v1/query", "/v1/query_batch"):
                 self._handle_routed(wfile, path, body, keep_alive)
             elif path in _GET_PATHS:
@@ -531,6 +551,111 @@ class Router:
             _error_body("serving_error", "no replica could be reached", 503),
             keep_alive=keep_alive,
         )
+
+    def _handle_replicated_read(
+        self, wfile: Any, method: str, path: str, body: bytes, keep_alive: bool
+    ) -> None:
+        """Relay a read of replicated subscription state to any alive replica."""
+        for slot in self.fleet.alive_slots():
+            try:
+                status, content_type, response, retry_after = self._forward(
+                    slot, method, path, body
+                )
+            except _UpstreamError:
+                self._note_upstream_error(slot)
+                continue
+            extra = [("Retry-After", retry_after)] if retry_after else []
+            self._respond(
+                wfile, status, response, content_type=content_type,
+                keep_alive=keep_alive, extra_headers=extra,
+            )
+            return
+        self._respond(
+            wfile, 503,
+            _error_body("serving_error", "no replica could be reached", 503),
+            keep_alive=keep_alive,
+        )
+
+    def _handle_subscription(
+        self, wfile: Any, path: str, body: bytes, keep_alive: bool
+    ) -> None:
+        """Broadcast a subscribe/unsubscribe through the ordered op log.
+
+        Same shape as :meth:`_handle_mutation` (and serialized by the same
+        lock, so subscription ops and mutations interleave in one total
+        order): the first alive replica is the leader — it validates the
+        spec and, for a subscribe, assigns the deterministic id — then the
+        id-stamped spec is appended to the replay log and broadcast to the
+        remaining replicas.  Every replica registers the same subscription
+        under the same id at the same point of the op order, which is what
+        keeps their notification streams byte-identical.
+        """
+        try:
+            spec = json.loads(body)
+            if not isinstance(spec, dict):
+                raise ValueError("not an object")
+        except ValueError as exc:
+            self._respond(
+                wfile, 400,
+                _error_body("bad_request", f"request body is not a JSON object: {exc}", 400),
+                keep_alive=keep_alive,
+            )
+            return
+        with self._extend_lock:
+            leader_response = None
+            leader_slot = None
+            remaining = []
+            for slot in self.fleet.alive_slots():
+                if leader_response is None:
+                    try:
+                        leader_response = self._forward(slot, "POST", path, body)
+                        leader_slot = slot
+                    except _UpstreamError:
+                        self._note_upstream_error(slot)
+                else:
+                    remaining.append(slot)
+            if leader_response is None:
+                self._respond(
+                    wfile, 503,
+                    _error_body("serving_error", "no replica could be reached", 503),
+                    keep_alive=keep_alive,
+                )
+                return
+            status, content_type, response, retry_after = leader_response
+            if status != 200:
+                extra = [("Retry-After", retry_after)] if retry_after else []
+                self._respond(
+                    wfile, status, response, content_type=content_type,
+                    keep_alive=keep_alive, extra_headers=extra,
+                )
+                return
+            if path == "/v1/subscribe":
+                document = json.loads(response)
+                stamped = {**spec, "id": document["subscription"]["id"]}
+                entry: dict[str, Any] = {"kind": "subscribe", "subscription": stamped}
+                follower_body = json.dumps(stamped, sort_keys=True).encode("utf-8")
+            else:
+                entry = {"kind": "unsubscribe", "id": spec.get("id")}
+                follower_body = body
+            log_len = self.fleet.record_extend(entry)
+            self.fleet.note_extend_applied(leader_slot, log_len)  # type: ignore[arg-type]
+            for slot in remaining:
+                if self.fleet.applied_len(slot) >= log_len:
+                    continue  # a fresh fork already replayed this op
+                try:
+                    follower_status, _, _, _ = self._forward(
+                        slot, "POST", path, follower_body
+                    )
+                except _UpstreamError:
+                    self._note_upstream_error(slot)
+                    self.fleet.force_restart(slot)
+                    continue
+                if follower_status == 200:
+                    self.fleet.note_extend_applied(slot, log_len)
+                else:
+                    self.fleet.force_restart(slot)
+            self._respond(wfile, status, response, content_type=content_type,
+                          keep_alive=keep_alive)
 
     def _note_upstream_error(self, slot: int) -> None:
         with self._counter_lock:

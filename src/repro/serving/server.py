@@ -15,6 +15,12 @@
                           ``{"added_tuples": n, "generation": g}``
 ``POST /v1/import``       ``{"kind": ..., "artifact": <sealed delta>}`` →
                           ``{"added_components": k, "generation": g}``
+``POST /v1/subscribe``    ``{"query": ..., "predicate": ..., "sink": ...}`` →
+                          the subscription document (id, baseline answers)
+``POST /v1/unsubscribe``  ``{"id": "sub-3"}`` → ``{"id": ..., "removed": true}``
+``POST /v1/notifications``  ``{"since": n, "wait_s": s, "limit": k}`` →
+                          long-poll read of the notification stream
+``GET /v1/subscriptions`` every registered standing query + its state
 ``GET /v1/stats``         the dispatcher's full statistics document
 ``GET /healthz``          liveness: ``{"status": "ok", "generation": g, ...}``
 ``GET /metrics``          Prometheus-style exposition text
@@ -56,6 +62,7 @@ from repro.serving.dispatch import (
     DEFAULT_WORKERS,
     Dispatcher,
 )
+from repro.subscribe import SubscriptionService
 
 #: Largest request body accepted, in bytes (a query batch, comfortably).
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -150,12 +157,17 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_stats()
             elif self.path == "/metrics":
                 self._handle_metrics()
+            elif self.path == "/v1/subscriptions":
+                self._send_json(200, self.server.prob_server.subscriptions.list())
             elif self.path in (
                 "/v1/query",
                 "/v1/query_batch",
                 "/v1/extend",
                 "/v1/append",
                 "/v1/import",
+                "/v1/subscribe",
+                "/v1/unsubscribe",
+                "/v1/notifications",
             ):
                 self._send_error_json(405, "method_not_allowed", f"POST required for {self.path}")
             else:
@@ -183,7 +195,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_append()
             elif self.path == "/v1/import":
                 self._handle_import()
-            elif self.path in ("/healthz", "/v1/stats", "/metrics"):
+            elif self.path == "/v1/subscribe":
+                self._handle_subscribe()
+            elif self.path == "/v1/unsubscribe":
+                self._handle_unsubscribe()
+            elif self.path == "/v1/notifications":
+                self._handle_notifications()
+            elif self.path in ("/healthz", "/v1/stats", "/metrics", "/v1/subscriptions"):
                 self._send_error_json(405, "method_not_allowed", f"GET required for {self.path}")
             else:
                 self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
@@ -332,6 +350,39 @@ class _Handler(BaseHTTPRequestHandler):
         added, generation = prob_server.dispatcher.apply_sealed(artifact, mvdb=mvdb)
         self._send_json(200, {"added_components": len(added), "generation": generation})
 
+    def _handle_subscribe(self) -> None:
+        document = self._read_body()
+        subscription = self.server.prob_server.subscriptions.subscribe(document)
+        self._send_json(200, {"subscription": subscription})
+
+    def _handle_unsubscribe(self) -> None:
+        document = self._read_body()
+        sub_id = document.get("id")
+        if not isinstance(sub_id, str) or not sub_id:
+            raise _BadRequest("'id' must be a non-empty subscription id string")
+        self._send_json(200, self.server.prob_server.subscriptions.unsubscribe(sub_id))
+
+    def _handle_notifications(self) -> None:
+        # Long-poll: blocks up to 'wait_s' (capped server-side) until the
+        # stream grows past the 'since' cursor.  Each request runs on its
+        # own handler thread, so parked long-polls do not block queries.
+        document = self._read_body()
+        since = document.get("since", 0)
+        wait_s = document.get("wait_s", 0.0)
+        limit = document.get("limit", 1000)
+        if not isinstance(since, int) or since < 0:
+            raise _BadRequest("'since' must be a non-negative integer cursor")
+        if not isinstance(wait_s, (int, float)) or wait_s < 0:
+            raise _BadRequest("'wait_s' must be a non-negative number")
+        if not isinstance(limit, int) or limit < 1:
+            raise _BadRequest("'limit' must be a positive integer")
+        self._send_json(
+            200,
+            self.server.prob_server.subscriptions.notifications(
+                since=since, wait_s=float(wait_s), limit=limit
+            ),
+        )
+
 
 class _HttpServer(ThreadingHTTPServer):
     """ThreadingHTTPServer that knows its owning :class:`ProbServer`."""
@@ -359,6 +410,10 @@ class ProbServer:
     extender:
         Optional callable mapping a ``/v1/extend`` JSON body to an
         :class:`~repro.core.mvdb.MVDB`; without it the endpoint answers 501.
+    subscriptions_path:
+        Optional JSON sidecar path (conventionally ``<artifact>.subs.json``)
+        where standing-query registrations are persisted; registrations
+        found there at startup are re-armed immediately.
     verbose:
         Log one line per request to stderr (off by default).
     """
@@ -372,12 +427,14 @@ class ProbServer:
         max_queue: int = DEFAULT_MAX_QUEUE,
         cache_size: int | None = None,
         extender: Callable[[dict[str, Any]], MVDB] | None = None,
+        subscriptions_path: str | None = None,
         verbose: bool = False,
     ) -> None:
         dispatcher_kwargs: dict[str, Any] = {"workers": workers, "max_queue": max_queue}
         if cache_size is not None:
             dispatcher_kwargs["cache_size"] = cache_size
         self.dispatcher = Dispatcher(engine, **dispatcher_kwargs)
+        self.subscriptions = SubscriptionService(self.dispatcher, path=subscriptions_path)
         self.extender = extender
         self.verbose = verbose
         self._http = _HttpServer((host, port), _Handler)
@@ -454,6 +511,7 @@ class ProbServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        self.subscriptions.close()
         self.dispatcher.close()
 
     def __enter__(self) -> "ProbServer":

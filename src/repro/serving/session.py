@@ -244,6 +244,18 @@ class QuerySession:
         lineages = self._lineages_for(key, ucq)
         return PreparedQuery(session=self, ucq=ucq, key=key, lineages=lineages)
 
+    def answer_lineages(self, query: UCQ | ConjunctiveQuery) -> dict[tuple[Any, ...], DNF]:
+        """Per-answer lineage DNFs of ``query``, via the lineage cache.
+
+        Used by the subscription evaluator to record which variables a
+        standing query's answers depend on (its component signature).  After
+        an :meth:`execute_batch` that included the query this is a cache
+        hit; a miss pays one single-query relational pass.
+        """
+        ucq = as_ucq(query)
+        self.engine.validate_query(ucq)
+        return self._lineages_for(canonical_key(ucq), ucq)
+
     def execute_batch(
         self,
         queries: Sequence[UCQ | ConjunctiveQuery],

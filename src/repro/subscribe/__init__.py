@@ -1,0 +1,29 @@
+"""Standing-query subscriptions: registry, incremental evaluator, sinks.
+
+The subsystem closes the ROADMAP's "millions of users" loop: clients
+register standing probabilistic queries with a firing predicate, the
+:class:`~repro.subscribe.evaluator.SubscriptionService` re-evaluates only
+the subscriptions each published delta can possibly affect (lineage /
+component-signature overlap — everything else is provably unchanged and
+skipped), and notifications flow out through an exactly-once long-poll
+stream plus best-effort webhooks.
+"""
+
+from repro.subscribe.evaluator import SubscriptionService
+from repro.subscribe.registry import (
+    Subscription,
+    SubscriptionRegistry,
+    canonical_predicate,
+    canonical_sink,
+)
+from repro.subscribe.sinks import NotificationLog, WebhookSink
+
+__all__ = [
+    "SubscriptionService",
+    "Subscription",
+    "SubscriptionRegistry",
+    "NotificationLog",
+    "WebhookSink",
+    "canonical_predicate",
+    "canonical_sink",
+]

@@ -1,0 +1,344 @@
+"""Delta-triggered incremental re-evaluation of standing queries.
+
+The :class:`SubscriptionService` hooks the dispatcher's epoch-swap
+publication point: every published mutation emits a delta descriptor
+(:meth:`repro.core.pending.PendingExtend.delta_descriptor`), and the
+service runs one **tick** per delta, re-evaluating *only* the
+subscriptions the delta can possibly affect.
+
+The skip rule is sound, not heuristic.  A subscription is re-evaluated iff
+
+* the delta added rows to a relation its query mentions — appends are
+  monotone, so a query over disjoint relations keeps its relational
+  lineage bit-identical; or
+* the delta's recompiled/new MV-index components mention a variable of the
+  subscription's answer lineages — the online probability is the
+  conditional ratio ``P0(Q ∧ ¬W) / P0(¬W)`` over the components the
+  lineage touches, and components it does not touch cancel, so a delta
+  that recompiles only disjoint components cannot move the answer.
+
+Everything else is *provably unchanged and skipped* (the CI smoke asserts
+skipped answers stay bit-identical to fresh queries).
+
+Determinism is the cluster story: ticks run inside the single-writer
+mutex, immediately after publication, against a read-lock-pinned
+generation; subscriptions are evaluated in registration order; the
+notification payload contains no wall-clock.  Replicas that replay the
+same op log (mutations interleaved with subscribe/unsubscribe, as the
+router records them) therefore regenerate byte-identical notification
+streams with the same sequence numbers — a client cursor resumed against
+any replica sees every notification exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.errors import ServingError
+from repro.serving.session import QuerySession
+from repro.subscribe.registry import (
+    THRESHOLD_OPS,
+    Subscription,
+    SubscriptionRegistry,
+)
+from repro.subscribe.sinks import DEFAULT_LOG_CAPACITY, NotificationLog, WebhookSink
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.serving.dispatch import Dispatcher
+
+#: Capacity of the evaluator's dedicated session caches.  Sized well above
+#: the expected standing-query count so a tick's shared batch pass leaves
+#: every lineage cached for the per-subscription variable extraction.
+EVALUATOR_CACHE_SIZE = 8192
+
+
+class SubscriptionService:
+    """Registry + evaluator + notification log behind one dispatcher.
+
+    Parameters
+    ----------
+    dispatcher:
+        The serving dispatcher to hook.  The service registers itself as
+        ``dispatcher.subscription_service`` and as a delta listener.
+    path:
+        Optional JSON sidecar (conventionally ``<artifact>.subs.json``)
+        holding the durable registrations; when the file exists its
+        subscriptions are re-armed immediately (baselines re-evaluated
+        against the engine's current state).
+    log_capacity:
+        Ring-buffer capacity of the notification log.
+    """
+
+    def __init__(
+        self,
+        dispatcher: "Dispatcher",
+        path: str | None = None,
+        log_capacity: int = DEFAULT_LOG_CAPACITY,
+    ) -> None:
+        self.dispatcher = dispatcher
+        self.registry = SubscriptionRegistry(path)
+        self.log = NotificationLog(log_capacity)
+        self._session = QuerySession(dispatcher.engine, cache_size=EVALUATOR_CACHE_SIZE)
+        self._evaluated_generation = -1
+        self._lock = threading.Lock()
+        self._webhook: WebhookSink | None = None
+        self._ticks = 0
+        self._evaluations = 0
+        self._skips = 0
+        self._notifications = 0
+        self._delivered = 0
+        self._delivery_failures = 0
+        self._dead_letter = 0
+        self._last_tick_ms = 0.0
+        dispatcher.subscription_service = self
+        dispatcher.add_delta_listener(self._on_delta)
+        for spec in self.registry.load_specs():
+            self.subscribe(spec, persist=False)
+
+    # ------------------------------------------------------------ registration
+    def subscribe(self, spec: Mapping[str, Any], persist: bool = True) -> dict[str, Any]:
+        """Register a standing query and evaluate its baseline.
+
+        Runs under the dispatcher's single-writer mutex so the baseline is
+        computed at a well-defined generation — never halfway through a
+        publish — and so fleet replicas that replay the same op order
+        compute identical baselines.  Returns the subscription document.
+        """
+        with self.dispatcher.mutation_locked():
+            with self.dispatcher.read_pinned() as generation:
+                with self._lock:
+                    subscription = self.registry.register(spec)
+                try:
+                    self._evaluate([subscription], generation, baseline=True)
+                except Exception:
+                    with self._lock:
+                        self.registry.remove(subscription.sub_id)
+                    raise
+                if persist:
+                    self.registry.save()
+        return subscription.describe()
+
+    def unsubscribe(self, sub_id: str, persist: bool = True) -> dict[str, Any]:
+        """Remove a subscription (raises for unknown ids)."""
+        with self.dispatcher.mutation_locked():
+            with self._lock:
+                subscription = self.registry.remove(sub_id)
+            if persist:
+                self.registry.save()
+        return {"id": subscription.sub_id, "removed": True}
+
+    def apply_log_entry(self, entry: Mapping[str, Any]) -> None:
+        """Replay one fleet-log subscription entry (follower restart path)."""
+        kind = entry.get("kind")
+        if kind == "subscribe":
+            self.subscribe(entry["subscription"], persist=False)
+        elif kind == "unsubscribe":
+            self.unsubscribe(str(entry["id"]), persist=False)
+        else:
+            raise ServingError(f"unknown subscription log entry kind {kind!r}")
+
+    # -------------------------------------------------------------- the tick
+    def _on_delta(self, descriptor: dict[str, Any]) -> None:
+        """One tick: re-evaluate the overlapping subset, skip the rest.
+
+        Called by the dispatcher after every published mutation, inside the
+        single-writer mutex.  The read lock pins the generation for the
+        whole tick, so every fired (and skipped) answer is exactly what a
+        fresh query at that generation returns.
+        """
+        start = time.perf_counter()
+        delta_relations = set(descriptor.get("relations", ()))
+        delta_variables = set(descriptor.get("component_variables", ()))
+        with self.dispatcher.read_pinned() as generation:
+            with self._lock:
+                ordered = self.registry.ordered()
+            overlapping = [
+                subscription
+                for subscription in ordered
+                if (subscription.relations & delta_relations)
+                or (subscription.variables & delta_variables)
+            ]
+            fired = (
+                self._evaluate(overlapping, generation, baseline=False)
+                if overlapping
+                else []
+            )
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        evaluated_ids = {subscription.sub_id for subscription in overlapping}
+        with self._lock:
+            self._ticks += 1
+            tick = self._ticks
+            self._evaluations += len(overlapping)
+            self._skips += len(ordered) - len(overlapping)
+            self._last_tick_ms = elapsed_ms
+            for subscription in ordered:
+                if subscription.sub_id not in evaluated_ids:
+                    subscription.skips += 1
+        for subscription, payload in fired:
+            payload["generation"] = generation
+            payload["tick"] = tick
+            self.log.append(payload)
+            with self._lock:
+                subscription.notifications += 1
+                self._notifications += 1
+            if subscription.sink.get("kind") == "webhook":
+                self._submit_webhook(subscription, payload)
+
+    def _evaluate(
+        self, subscriptions: list[Subscription], generation: int, baseline: bool
+    ) -> list[tuple[Subscription, dict[str, Any]]]:
+        """Batch re-evaluation at a pinned generation; returns fire decisions.
+
+        Caller holds the dispatcher read lock.  One shared relational pass
+        per method group (the existing :meth:`QuerySession.execute_batch`
+        path), then per-subscription predicate checks against the previous
+        state.
+        """
+        if generation != self._evaluated_generation:
+            self._session.invalidate()
+            self._evaluated_generation = generation
+        by_method: dict[str, list[Subscription]] = {}
+        for subscription in subscriptions:
+            by_method.setdefault(subscription.method, []).append(subscription)
+        results: dict[str, Any] = {}
+        for method, group in by_method.items():
+            batch = self._session.execute_batch(
+                [subscription.ucq for subscription in group], method=method
+            )
+            for subscription, result in zip(group, batch):
+                results[subscription.sub_id] = result
+        fired: list[tuple[Subscription, dict[str, Any]]] = []
+        for subscription in subscriptions:
+            result = results[subscription.sub_id]
+            lineages = self._session.answer_lineages(subscription.ucq)
+            variables = frozenset().union(
+                *(lineage.variables() for lineage in lineages.values())
+            ) if lineages else frozenset()
+            answers = {answer.values: answer.probability for answer in result.answers}
+            payload = None if baseline else self._fire_decision(subscription, answers)
+            matching = self._matching(subscription, answers)
+            with self._lock:
+                subscription.variables = variables
+                subscription.answers = answers
+                subscription.matching = matching
+                subscription.last_generation = generation
+                subscription.evaluations += 1
+            if payload is not None:
+                fired.append((subscription, payload))
+        return fired
+
+    @staticmethod
+    def _matching(subscription: Subscription, answers: dict[tuple, float]) -> frozenset:
+        predicate = subscription.predicate
+        if predicate["kind"] != "threshold":
+            return frozenset()
+        op = THRESHOLD_OPS[predicate["op"]]
+        value = predicate["value"]
+        return frozenset(
+            values for values, probability in answers.items() if op(probability, value)
+        )
+
+    def _fire_decision(
+        self, subscription: Subscription, answers: dict[tuple, float]
+    ) -> dict[str, Any] | None:
+        """The predicate check: a notification payload, or None to not fire.
+
+        The payload deliberately contains no wall-clock time — it must be
+        byte-identical on every replica that replays the same op log.
+        """
+
+        def rows(values_iterable: Any) -> list[list[Any]]:
+            return [
+                [list(values), answers[values]] if values in answers else [list(values)]
+                for values in sorted(values_iterable, key=str)
+            ]
+
+        predicate = subscription.predicate
+        if predicate["kind"] == "threshold":
+            matching = self._matching(subscription, answers)
+            if matching == subscription.matching:
+                return None
+            return {
+                "subscription": subscription.sub_id,
+                "kind": "threshold",
+                "predicate": dict(predicate),
+                "query": subscription.query,
+                "entered": rows(matching - subscription.matching),
+                "left": [
+                    [list(values)] for values in sorted(
+                        subscription.matching - matching, key=str
+                    )
+                ],
+                "answers": rows(answers),
+            }
+        if answers == subscription.answers:
+            return None
+        return {
+            "subscription": subscription.sub_id,
+            "kind": "change",
+            "predicate": dict(predicate),
+            "query": subscription.query,
+            "answers": rows(answers),
+            "previous": [
+                [list(values), probability]
+                for values, probability in sorted(
+                    subscription.answers.items(), key=lambda item: str(item[0])
+                )
+            ],
+        }
+
+    # -------------------------------------------------------------- delivery
+    def _submit_webhook(self, subscription: Subscription, payload: dict[str, Any]) -> None:
+        if self._webhook is None:
+            self._webhook = WebhookSink(self._webhook_outcome)
+        sink = subscription.sink
+        self._webhook.submit(
+            sink["url"], dict(payload), sink.get("retries", 3), sink.get("backoff_s", 0.05)
+        )
+
+    def _webhook_outcome(self, delivered: int, failures: int, dead: int) -> None:
+        with self._lock:
+            self._delivered += delivered
+            self._delivery_failures += failures
+            self._dead_letter += dead
+
+    # ------------------------------------------------------------- inspection
+    def notifications(
+        self, since: int = 0, wait_s: float = 0.0, limit: int = 1000
+    ) -> dict[str, Any]:
+        """Long-poll read of the notification stream (cursor-based)."""
+        return self.log.read(since=since, wait_s=wait_s, limit=limit)
+
+    def list(self) -> dict[str, Any]:
+        """The ``/v1/subscriptions`` document."""
+        with self._lock:
+            documents = [subscription.describe() for subscription in self.registry.ordered()]
+        return {"subscriptions": documents, "active": len(documents)}
+
+    def stats(self) -> dict[str, Any]:
+        """The ``subscriptions`` section of ``/v1/stats``."""
+        log = self.log.stats()
+        with self._lock:
+            return {
+                "active": len(self.registry),
+                "ticks_total": self._ticks,
+                "evaluations_total": self._evaluations,
+                "skips_total": self._skips,
+                "notifications_total": self._notifications,
+                "delivered_total": self._delivered,
+                "delivery_failures_total": self._delivery_failures,
+                "dead_letter_total": self._dead_letter,
+                "seq_head": log["head"],
+                "last_tick_ms": self._last_tick_ms,
+            }
+
+    def close(self) -> None:
+        """Stop the webhook delivery worker (idempotent)."""
+        if self._webhook is not None:
+            self._webhook.close()
+            self._webhook = None
+
+
+__all__ = ["SubscriptionService", "EVALUATOR_CACHE_SIZE"]
