@@ -21,7 +21,13 @@ the results against the committed baseline in
   ``ingest-steady`` / ``ingest-extend`` row pair and the recorded
   extend-in-flight query p99 must be within 2x the steady-state p99 — the
   non-blocking write path's acceptance bar, re-measured (and re-gated
-  live) by ``scripts/bench_serving.py --gate``.
+  live) by ``scripts/bench_serving.py --gate``;
+* **the recorded skip-effectiveness evidence must hold**: the committed
+  ``benchmarks/results/skipping_ablation.csv`` must show the summary-driven
+  skip path beating the unskipped path by at least 1.5x at >= 1000
+  components with probabilities agreeing within the ulp tolerance
+  (produced by ``scripts/bench_skipping.py``; the required ``skip-gate``
+  CI job regenerates and re-checks it fresh every run).
 
 Wall-clock comparisons across machines are meaningless, so every run first
 times a fixed pure-Python calibration workload and divides the measured
@@ -69,9 +75,18 @@ from repro.serving.session import QuerySession  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "bench_gate_baseline.json"
 DEFAULT_SERVING_CSV = REPO_ROOT / "benchmarks" / "results" / "serving_http.csv"
+DEFAULT_SKIPPING_CSV = REPO_ROOT / "benchmarks" / "results" / "skipping_ablation.csv"
 
 #: Recorded write-path bar: extend-in-flight query p99 over steady p99.
 INGEST_STALL_FACTOR = 2.0
+
+#: Skip-gate bars on the recorded ablation (see scripts/bench_skipping.py):
+#: the skip-on probability stage must beat skip-off by this factor ...
+SKIP_SPEEDUP_FLOOR = 1.5
+#: ... on an index of at least this many components ...
+SKIP_COMPONENT_FLOOR = 1000
+#: ... with the analyses actually pruning a non-trivial share of them.
+SKIP_FRACTION_FLOOR = 0.05
 
 #: Smoke scale: large enough for stable timings, small enough for CI.
 SMOKE_GROUPS = 40
@@ -305,6 +320,59 @@ def check_serving_csv(path: Path) -> list[str]:
     return failures
 
 
+def check_skipping_csv(path: Path) -> list[str]:
+    """Violations of the recorded skip-effectiveness evidence (empty = pass).
+
+    The committed ablation CSV is the durable record of the data-skipping
+    layer: the skip-on probability stage must beat skip-off by
+    ``SKIP_SPEEDUP_FLOOR`` on an index of at least ``SKIP_COMPONENT_FLOOR``
+    components, the analyses must prune at least ``SKIP_FRACTION_FLOOR`` of
+    them, and — the soundness receipt — both modes' probabilities must
+    agree within ``GATE_PROBABILITY_ULPS``.  The ``skip-gate`` CI job
+    re-measures and re-checks fresh; this check keeps the committed
+    evidence from silently going stale or missing.
+    """
+    if not path.exists():
+        return [f"skipping CSV missing at {path}; run scripts/bench_skipping.py"]
+    with path.open(newline="") as handle:
+        rows = {row["mode"]: row for row in csv.DictReader(handle)}
+    failures: list[str] = []
+    for mode in ("skip_on", "skip_off"):
+        if mode not in rows:
+            failures.append(f"skipping CSV at {path} has no {mode} row")
+    if failures:
+        return failures
+    on = float(rows["skip_on"]["seconds"])
+    off = float(rows["skip_off"]["seconds"])
+    components = int(rows["skip_on"]["components"])
+    fraction = float(rows["skip_on"]["fraction_skipped"])
+    max_ulps = int(rows["skip_on"]["max_ulps"])
+    if on <= 0:
+        return [f"skipping CSV records a zero skip-on time ({path})"]
+    if components < SKIP_COMPONENT_FLOOR:
+        failures.append(
+            f"skipping ablation ran at only {components} components "
+            f"(floor {SKIP_COMPONENT_FLOOR}; re-run scripts/bench_skipping.py)"
+        )
+    if off / on < SKIP_SPEEDUP_FLOOR:
+        failures.append(
+            f"recorded skip speedup {off / on:.2f}x is below the "
+            f"{SKIP_SPEEDUP_FLOOR:g}x floor ({path}; the skip layer stopped paying for itself)"
+        )
+    if fraction < SKIP_FRACTION_FLOOR:
+        failures.append(
+            f"recorded skip fraction {fraction:.1%} is below the "
+            f"{SKIP_FRACTION_FLOOR:.0%} floor ({path}; the analyses stopped pruning)"
+        )
+    if max_ulps > PROBABILITY_TOLERANCE_ULPS:
+        failures.append(
+            f"recorded skip-on/skip-off probability drift of {max_ulps} ulps exceeds "
+            f"the {PROBABILITY_TOLERANCE_ULPS}-ulp tolerance ({path}; "
+            "skipping must be a provable prune, never an approximation)"
+        )
+    return failures
+
+
 def render_report(current: dict, baseline: dict | None) -> str:
     lines = [
         f"bench gate @ groups={current['scale']['groups']} "
@@ -340,6 +408,12 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=DEFAULT_SERVING_CSV,
         help="recorded serving benchmark CSV holding the ingest row pair",
+    )
+    parser.add_argument(
+        "--skipping-csv",
+        type=Path,
+        default=DEFAULT_SKIPPING_CSV,
+        help="recorded skip-effectiveness ablation CSV",
     )
     parser.add_argument(
         "--update", action="store_true", help="re-record the baseline instead of gating"
@@ -397,6 +471,7 @@ def main(argv: list[str] | None = None) -> int:
     print(render_report(current, baseline))
     failures = compare(current, baseline, margin=args.margin)
     failures.extend(check_serving_csv(args.serving_csv))
+    failures.extend(check_skipping_csv(args.skipping_csv))
     if failures:
         print("\nBENCH GATE FAILED:", file=sys.stderr)
         for failure in failures:

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Skip-effectiveness ablation: the evidence behind the skip-gate CI job.
+
+Builds a synthetic DBLP MV-index at >= 1000 components (the Fig. 9 scale
+where per-answer full-index scans start to dominate), evaluates a pool of
+selective ``students_of_advisor`` queries twice — once with the summary
+driven skip analysis, once with it disabled — and records the ablation in
+``benchmarks/results/skipping_ablation.csv``:
+
+* ``mode``: ``skip_on`` / ``skip_off``;
+* ``seconds``: best-of-N wall time of the *probability stage* (relational
+  evaluation and lineage extraction are identical in both modes and paid
+  once, before the clock starts);
+* ``components`` / ``fraction_skipped``: index size and the mean fraction
+  of components the per-query analyses proved irrelevant;
+* ``max_ulps``: the largest probability difference between the two modes,
+  in units in the last place — the soundness receipt.  Skipping is a
+  provable prune, so this must stay within ``GATE_PROBABILITY_ULPS``.
+
+``scripts/bench_gate.py check_skipping_csv`` (run by the required
+``skip-gate`` CI job, and against the committed CSV by ``bench-gate``)
+fails when the recorded speedup falls below the floor, the skip fraction
+collapses, or the probabilities drift.
+
+Usage::
+
+    python scripts/bench_skipping.py                # write the CSV
+    python scripts/bench_skipping.py --json         # machine-readable report
+    python scripts/bench_skipping.py --groups 100   # smaller smoke scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.engine import MVQueryEngine  # noqa: E402
+from repro.dblp.config import DblpConfig  # noqa: E402
+from repro.dblp.workload import build_mvdb, students_of_advisor  # noqa: E402
+from repro.mvindex.cc_intersect import prewarm_flat_encodings  # noqa: E402
+from repro.numerics import ulps_between  # noqa: E402
+from repro.query.evaluator import evaluate_ucq  # noqa: E402
+from repro.query.ucq import as_ucq  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "skipping_ablation.csv"
+
+#: Ablation scale: 400 synthetic groups compile to ~1000 MV-index
+#: components, the floor the skip-gate enforces.
+DEFAULT_GROUPS = 400
+DEFAULT_SEED = 0
+#: Selective queries evaluated per mode (each touches a handful of the
+#: index's components — the serving workload shape).
+DEFAULT_QUERIES = 8
+#: Best-of-N timing to suppress scheduler noise.
+REPEATS = 3
+
+FIELDS = [
+    "mode",
+    "seconds",
+    "queries",
+    "answers",
+    "components",
+    "fraction_skipped",
+    "max_ulps",
+    "groups",
+    "seed",
+]
+
+
+def _best_of(function, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(groups: int, seed: int, query_count: int) -> dict:
+    """Run both modes over one prepared workload; return the raw ablation."""
+    workload = build_mvdb(DblpConfig(group_count=groups, seed=seed))
+    engine = MVQueryEngine(workload.mvdb)
+    if engine.mv_index is None or engine.summaries is None:
+        raise SystemExit("the ablation needs an MV-index (and its summaries)")
+    method = engine.resolve_method("mvindex")
+
+    # The relational stage is identical in both modes: evaluate once, keep
+    # the per-answer lineages, and time only the probability stage.
+    queries = [as_ucq(students_of_advisor(f"Advisor {i}")) for i in range(query_count)]
+    lineage_sets = []
+    for query in queries:
+        result = evaluate_ucq(query, engine.indb.database, engine.indb)
+        lineage_sets.append(list(result.lineages().values()))
+    engine.p0_w()
+    prewarm_flat_encodings(engine.mv_index)
+
+    def run(use_skip: bool) -> list[float]:
+        answers: list[float] = []
+        for query, lineages in zip(queries, lineage_sets):
+            # The per-query analysis is charged to the skip-on clock — the
+            # ablation prices the whole skip layer, not just its benefit.
+            skip = engine.skip_analysis(query) if use_skip else None
+            for lineage in lineages:
+                if skip is not None:
+                    answers.append(method.probability(engine, lineage, skip=skip))
+                else:
+                    answers.append(method.probability(engine, lineage))
+        return answers
+
+    answers_on = run(True)
+    answers_off = run(False)
+    max_ulps = max(
+        (ulps_between(on, off) for on, off in zip(answers_on, answers_off)),
+        default=0,
+    )
+    seconds_on = _best_of(lambda: run(True))
+    seconds_off = _best_of(lambda: run(False))
+
+    components = engine.mv_index.component_count()
+    skipped_fractions = [
+        engine.skip_analysis(query).skipped_count / components for query in queries
+    ]
+    fraction_skipped = sum(skipped_fractions) / len(skipped_fractions)
+
+    return {
+        "groups": groups,
+        "seed": seed,
+        "queries": len(queries),
+        "answers": len(answers_on),
+        "components": components,
+        "fraction_skipped": fraction_skipped,
+        "max_ulps": max_ulps,
+        "seconds_on": seconds_on,
+        "seconds_off": seconds_off,
+        "speedup": seconds_off / seconds_on if seconds_on else float("inf"),
+    }
+
+
+def write_csv(path: Path, report: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    shared = {
+        "queries": report["queries"],
+        "answers": report["answers"],
+        "components": report["components"],
+        "fraction_skipped": f"{report['fraction_skipped']:.6f}",
+        "max_ulps": report["max_ulps"],
+        "groups": report["groups"],
+        "seed": report["seed"],
+    }
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        writer.writeheader()
+        writer.writerow({"mode": "skip_on", "seconds": f"{report['seconds_on']:.6f}", **shared})
+        writer.writerow({"mode": "skip_off", "seconds": f"{report['seconds_off']:.6f}", **shared})
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--groups", type=int, default=DEFAULT_GROUPS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="CSV output path")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    args = parser.parse_args(argv)
+
+    report = measure(args.groups, args.seed, args.queries)
+    write_csv(args.out, report)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"skipping ablation @ groups={report['groups']} "
+            f"({report['components']} components, {report['answers']} answers)"
+        )
+        print(
+            f"  skip on : {report['seconds_on'] * 1000:8.1f}ms  "
+            f"(mean {report['fraction_skipped']:.1%} of components skipped)"
+        )
+        print(f"  skip off: {report['seconds_off'] * 1000:8.1f}ms")
+        print(
+            f"  speedup : {report['speedup']:.2f}x, max drift {report['max_ulps']} ulps"
+        )
+        print(f"  csv     : {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,8 @@ FIELDS = (
     "p95_tick_ms",
     "evaluations",
     "skips",
+    "skips_signature",
+    "skips_bitmap",
     "fraction_skipped",
     "notifications",
 )
@@ -89,6 +91,11 @@ def run_point(
         "p95_tick_ms": round(tick_ms[min(len(tick_ms) - 1, int(0.95 * len(tick_ms)))], 3),
         "evaluations": evaluations,
         "skips": skips,
+        # Attribution: skips proven by relation signatures alone (the delta
+        # touched no indexed component) vs ones that needed the variable
+        # bitmaps (components were touched, but none the subscription reads).
+        "skips_signature": stats["skips_signature_total"],
+        "skips_bitmap": stats["skips_bitmap_total"],
         "fraction_skipped": round(skips / max(1, skips + evaluations), 4),
         "notifications": stats["notifications_total"],
     }
@@ -117,7 +124,8 @@ def main(argv: list[str] | None = None) -> int:
         rows.append(row)
         print(
             f"{row['standing_queries']:>6} subs: mean tick {row['mean_tick_ms']:.2f}ms, "
-            f"p95 {row['p95_tick_ms']:.2f}ms, skipped {row['fraction_skipped']:.0%}, "
+            f"p95 {row['p95_tick_ms']:.2f}ms, skipped {row['fraction_skipped']:.0%} "
+            f"({row['skips_signature']} by signature, {row['skips_bitmap']} by bitmap), "
             f"{row['notifications']} notifications"
         )
 

@@ -38,6 +38,7 @@ from repro.indb.weights import (
 from repro.lineage.dnf import DNF
 from repro.lineage.shannon import shannon_probability
 from repro.mvindex.index import MVIndex
+from repro.mvindex.summaries import SkipAnalysis, SummaryStore, summarize_component
 from repro.obdd.order import VariableOrder, order_from_permutations
 from repro.query.cq import ConjunctiveQuery
 from repro.query.evaluator import evaluate_ucq
@@ -93,6 +94,14 @@ class MVQueryEngine:
                 workers=workers,
             )
 
+        #: Per-component skip summaries (:mod:`repro.mvindex.summaries`),
+        #: built alongside the index and maintained in O(delta) by
+        #: :meth:`apply_pending`; ``None`` when no index exists or skipping
+        #: was disabled.
+        self.summaries: SummaryStore | None = None
+        if self.mv_index is not None:
+            self.summaries = SummaryStore.from_index(self.mv_index, self.indb.tuple_of)
+
         self._p0_w: float | None = None
 
     @classmethod
@@ -104,6 +113,7 @@ class MVQueryEngine:
         mv_index: MVIndex | None = None,
         mvdb: MVDB | None = None,
         construction: str = "concat",
+        summaries: SummaryStore | None = None,
     ) -> "MVQueryEngine":
         """Assemble an engine from pre-built pipeline products.
 
@@ -114,6 +124,9 @@ class MVQueryEngine:
         ``W`` and an (optionally ``None``) compiled index that were restored
         from a saved artifact.  ``mvdb`` may be ``None``; online query
         answering only needs the translated products, never the source MVDB.
+        ``summaries`` carries skip summaries restored from the artifact;
+        when absent they are recomputed from the restored index (the
+        version-1 artifact upgrade path).
         """
         engine = cls.__new__(cls)
         engine.mvdb = mvdb
@@ -126,6 +139,9 @@ class MVQueryEngine:
         engine.construction = construction
         engine.w_lineage = w_lineage
         engine.mv_index = mv_index
+        engine.summaries = summaries
+        if engine.summaries is None and mv_index is not None:
+            engine.summaries = SummaryStore.from_index(mv_index, indb.tuple_of)
         engine._p0_w = None
         return engine
 
@@ -269,6 +285,20 @@ class MVQueryEngine:
                 pending.order_append, pending.new_probabilities, pending.index_delta
             )
             self.order = self.mv_index.order
+            if self.summaries is not None:
+                # O(delta) summary maintenance: drop the recompiled
+                # components, summarise the fresh ones from their tuples.
+                # Set/bitmap unions are order-independent, so the maintained
+                # store is bit-equal to a fresh scan of the whole index.
+                if pending.index_delta is not None:
+                    for key in pending.index_delta["removed_keys"]:
+                        self.summaries.discard(key)
+                for key in added:
+                    self.summaries.add(
+                        summarize_component(
+                            key, self.mv_index.components[key].variables, self.indb.tuple_of
+                        )
+                    )
         elif pending.order_append:
             self.order = self.order.extend(pending.order_append)
         if pending.kind == "extend":
@@ -654,29 +684,69 @@ class MVQueryEngine:
                 f"queries must be over the MVDB schema, not the translated NV relations {unknown_nv}"
             )
 
+    # ------------------------------------------------------------ data skipping
+    def skip_analysis(self, queries: "UCQ | list[UCQ]") -> "SkipAnalysis | None":
+        """Match one query (or a batch) against the component summaries.
+
+        Returns the provably-relevant component set as a
+        :class:`~repro.mvindex.summaries.SkipAnalysis`, or ``None`` when the
+        engine has no summaries (no index, or skipping disabled).  Sharing
+        one analysis across a batch is sound — the union of the queries'
+        atoms only widens the relevant set.
+        """
+        if self.summaries is None:
+            return None
+        return self.summaries.analyze(queries)
+
+    def disable_skipping(self) -> None:
+        """Drop the skip layer: every query takes the unrestricted path.
+
+        The ablation/debug switch behind the CLI ``--no-skip`` flag.  Sound
+        by construction (skipping only ever prunes provably-cancelling
+        work), irreversible for this engine instance short of a rebuild.
+        """
+        self.summaries = None
+
     # ---------------------------------------------------------------- queries
     def query(
         self,
         query: UCQ | ConjunctiveQuery,
         method: str = "mvindex",
+        *,
+        use_skip: bool = True,
     ) -> dict[tuple[Any, ...], float]:
         """Probability of every answer of ``query`` on the MVDB.
 
         For a Boolean query the result maps the empty tuple to ``P(Q)``
         (absent if the query has no derivation, i.e. probability 0).  This
         is the low-level map interface; :meth:`repro.ProbDB.query` returns
-        typed :class:`repro.QueryResult` objects instead.
+        typed :class:`repro.QueryResult` objects instead.  ``use_skip=False``
+        bypasses the summary-driven component pruning for this one call
+        (answers are bit-identical either way; the flag exists for
+        ablations).
         """
         ucq = as_ucq(query)
         resolved = self.resolve_method(method)
         self.validate_query(ucq)
+        skip = None
+        if use_skip and resolved.supports_skip:
+            skip = self.skip_analysis(ucq)
         result = evaluate_ucq(ucq, self.indb.database, self.indb)
         answers: dict[tuple[Any, ...], float] = {}
         for answer, lineage in result.lineages().items():
-            answers[answer] = resolved.probability(self, lineage)
+            if skip is not None:
+                answers[answer] = resolved.probability(self, lineage, skip=skip)
+            else:
+                answers[answer] = resolved.probability(self, lineage)
         return answers
 
-    def boolean_probability(self, query: UCQ | ConjunctiveQuery, method: str = "mvindex") -> float:
+    def boolean_probability(
+        self,
+        query: UCQ | ConjunctiveQuery,
+        method: str = "mvindex",
+        *,
+        use_skip: bool = True,
+    ) -> float:
         """``P(Q)`` for a Boolean query (0.0 if it has no derivations).
 
         Raises :class:`~repro.errors.InferenceError` when the query has free
@@ -690,7 +760,7 @@ class MVQueryEngine:
                 f"free head variables {tuple(v.name for v in ucq.head)}; "
                 "use query() for non-Boolean queries"
             )
-        return self.query(ucq, method=method).get((), 0.0)
+        return self.query(ucq, method=method, use_skip=use_skip).get((), 0.0)
 
     # ---------------------------------------------------------------- internals
     def _lineage_probability(

@@ -22,6 +22,7 @@ from repro.lineage.dnf import DNF
 from repro.mvindex.augmented import AugmentedObdd
 from repro.mvindex.index import MVIndex
 from repro.mvindex.intersect import IntersectStatistics, compile_query_obdd
+from repro.mvindex.summaries import SkipAnalysis
 from repro.obdd.manager import ONE, ZERO, ObddManager
 
 #: Flat-array encoding of the two terminals.
@@ -105,6 +106,7 @@ def cc_mv_intersect(
     probabilities: Mapping[int, float] | None = None,
     statistics: IntersectStatistics | None = None,
     include_untouched: bool = True,
+    skip: SkipAnalysis | None = None,
 ) -> float:
     """``P0(Q ∧ ¬W)`` by the cache-conscious flat-array traversal.
 
@@ -112,6 +114,9 @@ def cc_mv_intersect(
     does not touch is left out — the caller divides by the touched-only
     ``P0(¬W_k)`` product instead, which keeps the Theorem 1 ratio finite on
     indexes with thousands of components (see :meth:`MVIndex.touched_factor`).
+    ``skip`` threads a pre-computed
+    :class:`~repro.mvindex.summaries.SkipAnalysis` through, enabling the
+    index-order reuse fast path of :func:`compile_query_obdd`.
     """
     probabilities = probabilities or {}
     stats = statistics if statistics is not None else IntersectStatistics()
@@ -121,12 +126,14 @@ def cc_mv_intersect(
     if query_lineage.is_true:
         return index.probability_not_w() if include_untouched else 1.0
 
-    query, order = compile_query_obdd(index, query_lineage, probabilities)
+    query, order = compile_query_obdd(index, query_lineage, probabilities, skip=skip)
     touched = index.touched_components(query_lineage.variables())
     touched_keys = {component.key for component in touched}
     stats.touched_components = len(touched)
     stats.untouched_components = index.component_count() - len(touched)
     stats.query_obdd_nodes = max(0, len(query.prob_under) - 2)
+    if skip is not None:
+        stats.skipped_components = skip.skipped_count
     untouched = index.untouched_factor(touched_keys) if include_untouched else 1.0
     if not touched:
         return query.probability * untouched
@@ -147,6 +154,7 @@ def cc_mv_intersect(
             probabilities,
             statistics=stats,
             include_untouched=include_untouched,
+            skip=skip,
         )
 
     flat_query = FlatObdd.from_manager(query.manager, query.root, query.prob_under)
@@ -155,15 +163,37 @@ def cc_mv_intersect(
     for position in range(len(ordered) - 1, -1, -1):
         suffix[position] = ordered[position].probability_not_w * suffix[position + 1]
 
-    merged_probabilities = dict(index.probabilities)
-    merged_probabilities.update(probabilities)
-    max_level = max(
-        (order.level_of(v) for v in merged_probabilities if v in order), default=-1
-    )
-    probability_of_level = [0.0] * (max_level + 2)
-    for variable, value in merged_probabilities.items():
-        if variable in order:
+    if skip is not None:
+        # The traversal only probes levels of nodes in the query OBDD and
+        # the touched chain, i.e. levels of the query lineage's and the
+        # touched components' variables — fill just those slots instead of
+        # scanning every probabilistic variable per answer.  Each filled
+        # slot holds exactly the value the full scan would store (same
+        # override precedence), so the traversal arithmetic is
+        # bit-identical.
+        needed = set(query_lineage.variables())
+        for component in ordered:
+            needed.update(component.variables)
+        needed_levels = [order.level_of(v) for v in needed if v in order]
+        max_level = max(needed_levels, default=-1)
+        probability_of_level = [0.0] * (max_level + 2)
+        for variable in needed:
+            if variable not in order:
+                continue
+            value = probabilities.get(variable)
+            if value is None:
+                value = index.probabilities.get(variable, 0.0)
             probability_of_level[order.level_of(variable)] = value
+    else:
+        merged_probabilities = dict(index.probabilities)
+        merged_probabilities.update(probabilities)
+        max_level = max(
+            (order.level_of(v) for v in merged_probabilities if v in order), default=-1
+        )
+        probability_of_level = [0.0] * (max_level + 2)
+        for variable, value in merged_probabilities.items():
+            if variable in order:
+                probability_of_level[order.level_of(variable)] = value
 
     chain_count = len(chain)
     q_levels, q_lows, q_highs, q_under = (

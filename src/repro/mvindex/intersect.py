@@ -30,6 +30,7 @@ from repro.errors import InferenceError
 from repro.lineage.dnf import DNF
 from repro.mvindex.augmented import AugmentedObdd
 from repro.mvindex.index import IndexedComponent, MVIndex
+from repro.mvindex.summaries import SkipAnalysis
 from repro.obdd.construct import build_obdd
 from repro.obdd.manager import ONE, ZERO, ObddManager
 from repro.obdd.order import VariableOrder
@@ -45,6 +46,9 @@ class IntersectStatistics:
     #: Nodes of the query OBDD compiled for the traversal (also filled by the
     #: from-scratch ``obdd`` method with the size of its ``Q ∨ W`` OBDD).
     query_obdd_nodes: int = 0
+    #: Components a :class:`~repro.mvindex.summaries.SkipAnalysis` pruned
+    #: before any lineage or OBDD work touched them (0 without skipping).
+    skipped_components: int = 0
 
 
 class _ChainView:
@@ -81,13 +85,40 @@ def compile_query_obdd(
     index: MVIndex,
     query_lineage: DNF,
     probabilities: Mapping[int, float],
+    skip: SkipAnalysis | None = None,
 ) -> tuple[AugmentedObdd, VariableOrder]:
-    """Compile the query lineage under the index order (free variables appended)."""
-    order = index.order.extend(sorted(query_lineage.variables()))
+    """Compile the query lineage under the index order (free variables appended).
+
+    With a ``skip`` analysis in hand the common case — every lineage
+    variable already indexed — reuses ``index.order`` directly instead of
+    copying it into an extended order.  The reused order assigns every
+    variable the same level the extended one would, so the compiled OBDD
+    and all downstream float products are bit-identical.
+    """
+    if skip is not None:
+        variables = query_lineage.variables()
+        if all(variable in index.order for variable in variables):
+            order = index.order
+        else:
+            order = index.order.extend(sorted(variables))
+        # The annotation only keys levels of the compiled OBDD, i.e. the
+        # lineage's own variables — merge just those instead of copying the
+        # full per-database probability dictionary for every answer.  Each
+        # entry is the exact value the full merge would hold (same override
+        # precedence), so the annotations are bit-identical.
+        merged_probabilities = {}
+        for variable in variables:
+            value = probabilities.get(variable)
+            if value is None:
+                value = index.probabilities.get(variable)
+            if value is not None:
+                merged_probabilities[variable] = value
+    else:
+        order = index.order.extend(sorted(query_lineage.variables()))
+        merged_probabilities = dict(index.probabilities)
+        merged_probabilities.update(probabilities)
     manager = ObddManager()
     compiled = build_obdd(query_lineage, order, manager=manager, method="concat")
-    merged_probabilities = dict(index.probabilities)
-    merged_probabilities.update(probabilities)
     augmented = AugmentedObdd(manager, compiled.root, order, merged_probabilities)
     return augmented, order
 
@@ -98,11 +129,16 @@ def mv_intersect(
     probabilities: Mapping[int, float] | None = None,
     statistics: IntersectStatistics | None = None,
     include_untouched: bool = True,
+    skip: SkipAnalysis | None = None,
 ) -> float:
     """``P0(Q ∧ ¬W)`` by the (pointer-based) MVIntersect algorithm.
 
     ``include_untouched=False`` omits the product over components the query
     does not touch (see :func:`repro.mvindex.cc_intersect.cc_mv_intersect`).
+    ``skip`` threads a pre-computed
+    :class:`~repro.mvindex.summaries.SkipAnalysis` through: it enables the
+    index-order reuse fast path of :func:`compile_query_obdd` and fills the
+    ``skipped_components`` work counter.
     """
     probabilities = probabilities or {}
     stats = statistics if statistics is not None else IntersectStatistics()
@@ -112,12 +148,14 @@ def mv_intersect(
     if query_lineage.is_true:
         return index.probability_not_w() if include_untouched else 1.0
 
-    query, order = compile_query_obdd(index, query_lineage, probabilities)
+    query, order = compile_query_obdd(index, query_lineage, probabilities, skip=skip)
     touched = index.touched_components(query_lineage.variables())
     touched_keys = {component.key for component in touched}
     stats.touched_components = len(touched)
     stats.untouched_components = index.component_count() - len(touched)
     stats.query_obdd_nodes = max(0, len(query.prob_under) - 2)
+    if skip is not None:
+        stats.skipped_components = skip.skipped_count
     untouched = index.untouched_factor(touched_keys) if include_untouched else 1.0
 
     if not touched:
@@ -131,12 +169,32 @@ def mv_intersect(
         return _synthesised_intersect(index, query, touched, probabilities) * untouched
     w_manager = index.manager
     q_manager = query.manager
-    merged_probabilities = dict(index.probabilities)
-    merged_probabilities.update(probabilities)
-    probability_of_level = {
-        order.level_of(variable): value for variable, value in merged_probabilities.items()
-        if variable in order
-    }
+    if skip is not None:
+        # The traversal only probes levels of nodes in the query OBDD and
+        # the touched chain, and those nodes carry exactly the query
+        # lineage's and the touched components' variables — key just them
+        # instead of scanning every probabilistic variable per answer.
+        # Values match the full scan entry-for-entry (same precedence), so
+        # the Shannon products are bit-identical.
+        needed = set(query_lineage.variables())
+        for component in touched:
+            needed.update(component.variables)
+        probability_of_level = {}
+        for variable in needed:
+            if variable not in order:
+                continue
+            value = probabilities.get(variable)
+            if value is None:
+                value = index.probabilities.get(variable, 0.0)
+            probability_of_level[order.level_of(variable)] = value
+    else:
+        merged_probabilities = dict(index.probabilities)
+        merged_probabilities.update(probabilities)
+        probability_of_level = {
+            order.level_of(variable): value
+            for variable, value in merged_probabilities.items()
+            if variable in order
+        }
 
     chain_count = len(chain)
     chain_roots = [chain.obdd(position).root for position in range(chain_count)]

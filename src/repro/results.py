@@ -67,6 +67,12 @@ class QueryResult:
     steps: int = 0
     #: MV-index components touched across all answers (0 without an index).
     touched_components: int = 0
+    #: MV-index components the skip analysis proved irrelevant before any
+    #: OBDD work touched them (0 when skipping was off or not applicable).
+    skipped_components: int = 0
+    #: Wall-clock milliseconds the summary matching itself took (micro-scale;
+    #: reported so the skip layer's overhead stays observable).
+    skip_analysis_ms: float = 0.0
 
     # ------------------------------------------------------------- inspection
     def __len__(self) -> int:
@@ -120,6 +126,8 @@ class QueryResult:
             "obdd_nodes": self.obdd_nodes,
             "steps": self.steps,
             "touched_components": self.touched_components,
+            "skipped_components": self.skipped_components,
+            "skip_analysis_ms": self.skip_analysis_ms,
             "answers": [
                 {
                     "values": list(answer.values),
@@ -156,6 +164,8 @@ class QueryResult:
                 obdd_nodes=document.get("obdd_nodes", 0),
                 steps=document.get("steps", 0),
                 touched_components=document.get("touched_components", 0),
+                skipped_components=document.get("skipped_components", 0),
+                skip_analysis_ms=document.get("skip_analysis_ms", 0.0),
             )
         except (KeyError, TypeError) as exc:
             raise InferenceError(f"malformed QueryResult document: {exc!r}") from None

@@ -42,12 +42,17 @@ from repro.errors import ArtifactError, ReproError
 from repro.indb.database import TupleIndependentDatabase
 from repro.lineage.dnf import DNF
 from repro.mvindex.index import MVIndex
+from repro.mvindex.summaries import SummaryStore
 from repro.obdd.order import VariableOrder
 
 #: Identifier written into (and required from) every artifact document.
 ARTIFACT_FORMAT = "repro-mv-index"
 #: Version of the artifact layout; bumped on incompatible changes.
-ARTIFACT_VERSION = 1
+#: Version 2 added the per-component skip summaries; version-1 artifacts are
+#: still readable — their summaries are recomputed from the index on load.
+ARTIFACT_VERSION = 2
+#: Artifact layout versions this library can restore.
+SUPPORTED_ARTIFACT_VERSIONS = frozenset({1, 2})
 
 
 def engine_state(engine: MVQueryEngine) -> dict[str, Any]:
@@ -86,6 +91,9 @@ def engine_state(engine: MVQueryEngine) -> dict[str, Any]:
         "order": engine.order.variables(),
         "w_lineage": sorted(sorted(clause) for clause in engine.w_lineage.clauses),
         "index": engine.mv_index.export_state() if engine.mv_index is not None else None,
+        "summaries": (
+            engine.summaries.export_state() if engine.summaries is not None else None
+        ),
     }
 
 
@@ -96,10 +104,11 @@ def engine_from_state(state: Mapping[str, Any]) -> MVQueryEngine:
             f"not an MV-index artifact: format {state.get('format')!r} "
             f"(expected {ARTIFACT_FORMAT!r})"
         )
-    if state.get("version") != ARTIFACT_VERSION:
+    if state.get("version") not in SUPPORTED_ARTIFACT_VERSIONS:
         raise ArtifactError(
             f"unsupported artifact version {state.get('version')!r} "
-            f"(this library reads version {ARTIFACT_VERSION})"
+            f"(this library reads versions "
+            f"{sorted(SUPPORTED_ARTIFACT_VERSIONS)})"
         )
     try:
         return _restore_engine(state)
@@ -144,12 +153,18 @@ def _restore_engine(state: Mapping[str, Any]) -> MVQueryEngine:
             order,
             construction=state.get("construction", "concat"),
         )
+    summaries = None
+    if mv_index is not None and state.get("summaries") is not None:
+        summaries = SummaryStore.from_state(state["summaries"])
+    # Version-1 artifacts carry no summaries; from_parts recomputes them from
+    # the restored index, so upgraded processes still skip.
     return MVQueryEngine.from_parts(
         indb,
         w_lineage,
         order,
         mv_index=mv_index,
         construction=state.get("construction", "concat"),
+        summaries=summaries,
     )
 
 

@@ -88,12 +88,24 @@ EMPTY_SUBSCRIPTION_STATS: dict[str, Any] = {
     "ticks_total": 0,
     "evaluations_total": 0,
     "skips_total": 0,
+    "skips_signature_total": 0,
+    "skips_bitmap_total": 0,
     "notifications_total": 0,
     "delivered_total": 0,
     "delivery_failures_total": 0,
     "dead_letter_total": 0,
     "seq_head": 0,
     "last_tick_ms": 0.0,
+}
+
+#: The "skipping" section of /v1/stats when no analysis has run yet.  Query
+#: work is sharded across workers (and replicas), so merge_stats SUMS these
+#: counters, unlike the replicated subscription state above.
+EMPTY_SKIPPING_STATS: dict[str, Any] = {
+    "analyses_total": 0,
+    "skipped_components_total": 0,
+    "relevant_components_total": 0,
+    "skip_ratio": 0.0,
 }
 
 
@@ -165,12 +177,30 @@ def render_metrics(stats: dict[str, Any], extra_lines: Sequence[str] = ()) -> st
         "# HELP repro_subscription_skips_total Subscriptions provably unaffected and skipped.",
         "# TYPE repro_subscription_skips_total counter",
         f"repro_subscription_skips_total {subscriptions['skips_total']}",
+        "# HELP repro_subscription_skip_attribution_total Tick skips by the summary that proved them.",
+        "# TYPE repro_subscription_skip_attribution_total counter",
+        'repro_subscription_skip_attribution_total{summary="signature"} '
+        f"{subscriptions.get('skips_signature_total', 0)}",
+        'repro_subscription_skip_attribution_total{summary="bitmap"} '
+        f"{subscriptions.get('skips_bitmap_total', 0)}",
         "# HELP repro_notifications_total Notifications appended to the stream.",
         "# TYPE repro_notifications_total counter",
         f"repro_notifications_total {subscriptions['notifications_total']}",
         "# HELP repro_notification_dead_letter_total Deliveries abandoned after retries.",
         "# TYPE repro_notification_dead_letter_total counter",
         f"repro_notification_dead_letter_total {subscriptions['dead_letter_total']}",
+    ]
+    skipping = stats.get("skipping", EMPTY_SKIPPING_STATS)
+    lines += [
+        "# HELP repro_skip_analyses_total Summary matches run against the MV-index.",
+        "# TYPE repro_skip_analyses_total counter",
+        f"repro_skip_analyses_total {skipping['analyses_total']}",
+        "# HELP repro_skipped_components_total Components proved irrelevant before OBDD work.",
+        "# TYPE repro_skipped_components_total counter",
+        f"repro_skipped_components_total {skipping['skipped_components_total']}",
+        "# HELP repro_skip_ratio Fraction of analyzed components skipped (lifetime).",
+        "# TYPE repro_skip_ratio gauge",
+        f"repro_skip_ratio {skipping['skip_ratio']:.6f}",
     ]
     lines.extend(extra_lines)
     return "\n".join(lines) + "\n"
@@ -194,6 +224,7 @@ def merge_stats(documents: Sequence[dict[str, Any]]) -> dict[str, Any]:
             "generation": 0,
             "generation_max": 0,
             "subscriptions": EMPTY_SUBSCRIPTION_STATS.copy(),
+            "skipping": EMPTY_SKIPPING_STATS.copy(),
             "workers": 0,
             "max_queue": 0,
             "queue_depth": 0,
@@ -260,10 +291,22 @@ def merge_stats(documents: Sequence[dict[str, Any]]) -> dict[str, Any]:
             default=default,
         )
 
+    # Skip analyses are per-replica work (sharded, not replicated): sum.
+    skipped_total = int(total("skipping", "skipped_components_total"))
+    relevant_total = int(total("skipping", "relevant_components_total"))
+    analyzed_total = skipped_total + relevant_total
+    skipping = {
+        "analyses_total": int(total("skipping", "analyses_total")),
+        "skipped_components_total": skipped_total,
+        "relevant_components_total": relevant_total,
+        "skip_ratio": skipped_total / analyzed_total if analyzed_total else 0.0,
+    }
+
     return {
         "generation": min(generations),
         "generation_max": max(generations),
         "subscriptions": subscriptions,
+        "skipping": skipping,
         "workers": int(total("workers")),
         "max_queue": int(total("max_queue")),
         "queue_depth": int(total("queue_depth")),
@@ -928,6 +971,22 @@ class Dispatcher:
             "lineage": tier(lineage_hits, lineage_misses, entries["lineage"]),
         }
 
+    def skipping_stats(self) -> dict[str, Any]:
+        """The "skipping" section of ``/v1/stats``, summed over worker sessions."""
+        analyses = skipped = relevant = 0
+        for session in self.sessions:
+            info = session.cache_info()
+            analyses += info["skip_analyses"]
+            skipped += info["skipped_components"]
+            relevant += info["relevant_components"]
+        analyzed = skipped + relevant
+        return {
+            "analyses_total": analyses,
+            "skipped_components_total": skipped,
+            "relevant_components_total": relevant,
+            "skip_ratio": skipped / analyzed if analyzed else 0.0,
+        }
+
     def stats(self) -> dict[str, Any]:
         """The full ``/v1/stats`` document (JSON-safe, nested)."""
         with self._state:
@@ -943,6 +1002,7 @@ class Dispatcher:
         return {
             "generation": generation,
             "subscriptions": subscriptions,
+            "skipping": self.skipping_stats(),
             "workers": len(self.sessions),
             "max_queue": self.max_queue,
             "queue_depth": pending,

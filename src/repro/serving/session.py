@@ -37,6 +37,7 @@ from repro.errors import InferenceError
 from repro.lineage.dnf import DNF
 from repro.mvindex.cc_intersect import prewarm_flat_encodings
 from repro.mvindex.intersect import IntersectStatistics
+from repro.mvindex.summaries import SkipAnalysis
 from repro.query.cq import ConjunctiveQuery
 from repro.query.evaluator import QueryResult as RelationalResult
 from repro.query.evaluator import evaluate_cq
@@ -75,6 +76,13 @@ class SessionStatistics:
     deduplicated: int = 0
     #: Entries dropped from either LRU cache.
     evictions: int = 0
+    #: Skip analyses run against the component summaries (one per uncached
+    #: single query; exactly one per batch with uncached queries).
+    skip_analyses: int = 0
+    #: Components those analyses proved irrelevant (summed over analyses).
+    skipped_components: int = 0
+    #: Components those analyses could not rule out (summed over analyses).
+    relevant_components: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """The counters as a plain dictionary (for reports and tests)."""
@@ -114,6 +122,8 @@ class _Computed:
     obdd_nodes: int = 0
     steps: int = 0
     touched_components: int = 0
+    skipped_components: int = 0
+    skip_analysis_ms: float = 0.0
 
 
 @dataclass
@@ -214,7 +224,8 @@ class QuerySession:
             self.statistics.result_misses += 1
         lineages = self._lineages_for(key, ucq)
         self.warm()
-        computed = self._typed_probabilities(lineages, resolved)
+        skip = self._skip_for([ucq], resolved)
+        computed = self._typed_probabilities(lineages, resolved, skip=skip)
         with self._lock:
             if self.generation == generation:
                 self._results.put((key, resolved.name), computed)
@@ -335,10 +346,14 @@ class QuerySession:
                     for key, lineages in fresh.items():
                         self._lineages.put(key, lineages)
         items = [(key, lineage_map[key]) for key in pending]
+        # One skip analysis shared by every query in the batch: the union of
+        # the batch's atoms only widens the relevant set, so the shared
+        # analysis is sound for each member while costing a single pass.
+        skip = self._skip_for(list(pending.values()), resolved_method) if pending else None
 
         def timed(lineages: dict[tuple[Any, ...], DNF]) -> tuple[_Computed, float]:
             stage_start = time.perf_counter()
-            computed = self._typed_probabilities(lineages, resolved_method)
+            computed = self._typed_probabilities(lineages, resolved_method, skip=skip)
             return computed, time.perf_counter() - stage_start
 
         if workers is not None and workers > 1 and len(items) > 1:
@@ -429,8 +444,30 @@ class QuerySession:
             assembled[key] = result.lineages()
         return assembled, len(distinct)
 
+    def _skip_for(
+        self, ucqs: "list[UCQ]", method: "InferenceMethod"
+    ) -> "SkipAnalysis | None":
+        """One skip analysis for ``ucqs`` (None when not applicable).
+
+        Skipping applies only when the method opts in and the engine carries
+        summaries; statistics are updated under the session lock.
+        """
+        if not method.supports_skip:
+            return None
+        skip = self.engine.skip_analysis(ucqs)
+        if skip is None:
+            return None
+        with self._lock:
+            self.statistics.skip_analyses += 1
+            self.statistics.skipped_components += skip.skipped_count
+            self.statistics.relevant_components += skip.relevant_count
+        return skip
+
     def _typed_probabilities(
-        self, lineages: dict[tuple[Any, ...], DNF], method: "InferenceMethod"
+        self,
+        lineages: dict[tuple[Any, ...], DNF],
+        method: "InferenceMethod",
+        skip: "SkipAnalysis | None" = None,
     ) -> _Computed:
         """Intersect every answer lineage against the index, keeping counters."""
         engine = self.engine
@@ -438,7 +475,10 @@ class QuerySession:
         obdd_nodes = steps = touched = 0
         for values, lineage in lineages.items():
             statistics = IntersectStatistics()
-            probability = method.probability(engine, lineage, statistics)
+            if skip is not None:
+                probability = method.probability(engine, lineage, statistics, skip=skip)
+            else:
+                probability = method.probability(engine, lineage, statistics)
             answers.append(
                 Answer(
                     values=values,
@@ -454,6 +494,8 @@ class QuerySession:
             obdd_nodes=obdd_nodes,
             steps=steps,
             touched_components=touched,
+            skipped_components=0 if skip is None else skip.skipped_count,
+            skip_analysis_ms=0.0 if skip is None else skip.elapsed_ms,
         )
 
     def _typed_result(
@@ -475,6 +517,8 @@ class QuerySession:
             obdd_nodes=computed.obdd_nodes,
             steps=computed.steps,
             touched_components=computed.touched_components,
+            skipped_components=computed.skipped_components,
+            skip_analysis_ms=computed.skip_analysis_ms,
         )
 
     def _run_prepared(self, prepared: PreparedQuery, method: str) -> QueryResult:
@@ -488,7 +532,8 @@ class QuerySession:
                 return self._typed_result(cached, resolved, cached_hit=True, start=start)
             self.statistics.result_misses += 1
         self.warm()
-        computed = self._typed_probabilities(prepared.lineages, resolved)
+        skip = self._skip_for([prepared.ucq], resolved)
+        computed = self._typed_probabilities(prepared.lineages, resolved, skip=skip)
         with self._lock:
             if self.generation == generation:
                 self._results.put((prepared.key, resolved.name), computed)

@@ -37,6 +37,7 @@ import time
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.errors import ServingError
+from repro.mvindex.summaries import bitmap_from_hex, variables_bitmap
 from repro.serving.session import QuerySession
 from repro.subscribe.registry import (
     THRESHOLD_OPS,
@@ -87,6 +88,8 @@ class SubscriptionService:
         self._ticks = 0
         self._evaluations = 0
         self._skips = 0
+        self._skips_signature = 0
+        self._skips_bitmap = 0
         self._notifications = 0
         self._delivered = 0
         self._delivery_failures = 0
@@ -150,7 +153,14 @@ class SubscriptionService:
         """
         start = time.perf_counter()
         delta_relations = set(descriptor.get("relations", ()))
-        delta_variables = set(descriptor.get("component_variables", ()))
+        # The delta's recompiled-component variables as a summary-layer
+        # bitmap: published descriptors carry it pre-encoded; older ones
+        # (replayed logs) fall back to encoding the variable list here.
+        bitmap_hex = descriptor.get("component_bitmap")
+        if bitmap_hex is not None:
+            delta_bitmap = bitmap_from_hex(bitmap_hex)
+        else:
+            delta_bitmap = variables_bitmap(descriptor.get("component_variables", ()))
         with self.dispatcher.read_pinned() as generation:
             with self._lock:
                 ordered = self.registry.ordered()
@@ -158,7 +168,7 @@ class SubscriptionService:
                 subscription
                 for subscription in ordered
                 if (subscription.relations & delta_relations)
-                or (subscription.variables & delta_variables)
+                or (subscription.variables_bitmap & delta_bitmap)
             ]
             fired = (
                 self._evaluate(overlapping, generation, baseline=False)
@@ -176,6 +186,16 @@ class SubscriptionService:
             for subscription in ordered:
                 if subscription.sub_id not in evaluated_ids:
                     subscription.skips += 1
+                    # Attribute the skip to the summary that was decisive:
+                    # a delta with no recompiled components is cleared by
+                    # the relation signature alone; otherwise the variable
+                    # bitmap had to prove the lineage disjoint.
+                    if delta_bitmap == 0:
+                        subscription.skips_signature += 1
+                        self._skips_signature += 1
+                    else:
+                        subscription.skips_bitmap += 1
+                        self._skips_bitmap += 1
         for subscription, payload in fired:
             payload["generation"] = generation
             payload["tick"] = tick
@@ -221,6 +241,7 @@ class SubscriptionService:
             matching = self._matching(subscription, answers)
             with self._lock:
                 subscription.variables = variables
+                subscription.variables_bitmap = variables_bitmap(variables)
                 subscription.answers = answers
                 subscription.matching = matching
                 subscription.last_generation = generation
@@ -326,6 +347,8 @@ class SubscriptionService:
                 "ticks_total": self._ticks,
                 "evaluations_total": self._evaluations,
                 "skips_total": self._skips,
+                "skips_signature_total": self._skips_signature,
+                "skips_bitmap_total": self._skips_bitmap,
                 "notifications_total": self._notifications,
                 "delivered_total": self._delivered,
                 "delivery_failures_total": self._delivery_failures,

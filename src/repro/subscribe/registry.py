@@ -114,11 +114,19 @@ class Subscription:
     # Runtime evaluation state, owned by the evaluator.
     relations: frozenset[str] = frozenset()
     variables: frozenset[int] = frozenset()
+    #: The same lineage variables as a summary-layer bitmap, so each tick's
+    #: disjointness test is one integer AND against the delta's bitmap.
+    variables_bitmap: int = 0
     answers: dict[tuple, float] = field(default_factory=dict, repr=False)
     matching: frozenset[tuple] = frozenset()
     last_generation: int = -1
     evaluations: int = 0
     skips: int = 0
+    #: Skips attributed to the relation signature alone (the delta carried
+    #: no recompiled component variables, e.g. a deterministic append).
+    skips_signature: int = 0
+    #: Skips where the variable-bitmap disjointness test was decisive.
+    skips_bitmap: int = 0
     notifications: int = 0
 
     def spec(self) -> dict[str, Any]:
@@ -140,6 +148,8 @@ class Subscription:
                 "last_generation": self.last_generation,
                 "evaluations": self.evaluations,
                 "skips": self.skips,
+                "skips_signature": self.skips_signature,
+                "skips_bitmap": self.skips_bitmap,
                 "notifications": self.notifications,
                 "answers": [
                     [list(values), probability]

@@ -520,8 +520,8 @@ class TestSessionGenerationGuard:
         query = parse_query(QUERIES[0])
         original = session._typed_probabilities
 
-        def racing(lineages, method):
-            computed = original(lineages, method)
+        def racing(lineages, method, skip=None):
+            computed = original(lineages, method, skip=skip)
             # An extend() lands between this request's computation and its
             # cache publication — exactly the stale-probability race.
             session.invalidate()
@@ -541,8 +541,8 @@ class TestSessionGenerationGuard:
         queries = [parse_query(text) for text in QUERIES[:3]]
         original = session._typed_probabilities
 
-        def racing(lineages, method):
-            computed = original(lineages, method)
+        def racing(lineages, method, skip=None):
+            computed = original(lineages, method, skip=skip)
             session.invalidate()
             return computed
 
